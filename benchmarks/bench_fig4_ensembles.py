@@ -1,0 +1,88 @@
+"""Figure 4f: ensemble training time vs number of trees W (§8.3.1).
+
+Four series as in the paper: RF classification, RF regression, GBDT
+classification, GBDT regression.
+
+Shapes to reproduce:
+* all four scale ~linearly in W;
+* RF classification is slightly slower than RF regression (more classes ->
+  more label vectors);
+* GBDT regression is slower than RF regression (encrypted residual
+  bookkeeping between rounds);
+* GBDT classification is the slowest by a clear margin (one-vs-rest: W·c
+  trees, plus the per-sample secure softmax each round).
+
+    python benchmarks/bench_fig4_ensembles.py
+    pytest benchmarks/bench_fig4_ensembles.py --benchmark-only
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import build_context, print_table, timed_run
+from repro.core import PivotGBDT, PivotRandomForest
+
+W_VALUES = [1, 2, 3]  # paper: 2..32
+SMALL = dict(n=24, d_bar=2, b=2, h=1, m=3)
+
+
+def run_rf(task: str, w: int):
+    context = build_context(task=task, classes=3 if task == "classification" else 2, **SMALL)
+    return timed_run(
+        lambda: PivotRandomForest(context, n_trees=w, seed=1).fit(), context
+    )
+
+
+def run_gbdt(task: str, w: int):
+    context = build_context(task=task, classes=3 if task == "classification" else 2, **SMALL)
+    return timed_run(
+        lambda: PivotGBDT(context, n_rounds=w, learning_rate=0.5).fit(), context
+    )
+
+
+def test_fig4f_gbdt_classification_slowest(benchmark):
+    def run():
+        return (
+            run_rf("classification", 2).wall_seconds,
+            run_rf("regression", 2).wall_seconds,
+            run_gbdt("regression", 2).wall_seconds,
+            run_gbdt("classification", 2).wall_seconds,
+        )
+
+    rf_c, rf_r, gb_r, gb_c = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert gb_c > gb_r  # one-vs-rest + secure softmax overhead
+    assert gb_c > rf_c
+
+
+def test_fig4f_linear_in_w(benchmark):
+    def run():
+        return run_rf("regression", 1).wall_seconds, run_rf("regression", 3).wall_seconds
+
+    one, three = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert three > 1.8 * one
+
+
+def main() -> None:
+    rows = []
+    for w in W_VALUES:
+        rows.append([
+            f"W={w}",
+            run_rf("classification", w).wall_seconds,
+            run_gbdt("classification", w).wall_seconds,
+            run_rf("regression", w).wall_seconds,
+            run_gbdt("regression", w).wall_seconds,
+        ])
+    print_table(
+        "Figure 4f — ensemble training time vs W (seconds; "
+        f"n={SMALL['n']}, h={SMALL['h']}, b={SMALL['b']})",
+        ["sweep", "RF-Class", "GBDT-Class", "RF-Regr", "GBDT-Regr"],
+        rows,
+    )
+    print("\nPaper shapes: linear in W; GBDT-Classification slowest "
+          "(one-vs-rest + secure softmax), RF cheapest.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Table 2: empirical validation of the theoretical cost analysis (§6).
+
+Runs Pivot training across parameter sweeps, counts the primitive
+operations actually executed (Ce, Cd, Cs, Cc) and checks them against the
+Table 2 formulas: measured/predicted ratios must stay near-constant as each
+parameter grows (constants differ, asymptotics must not).
+
+    python benchmarks/bench_table2_complexity.py
+    pytest benchmarks/bench_table2_complexity.py --benchmark-only
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import DEFAULTS, build_context, print_table, timed_run
+from repro.analysis.costmodel import Workload, table2_training_counts
+from repro.core import PivotDecisionTree
+
+
+def measure(protocol: str, **overrides) -> tuple[Workload, dict[str, int]]:
+    params = {**DEFAULTS, **overrides}
+    context = build_context(protocol=protocol, **params)
+    result = timed_run(lambda: PivotDecisionTree(context).fit(), context)
+    workload = Workload(
+        n=params["n"], m=params["m"], d_bar=params["d_bar"],
+        b=params["b"], h=params["h"], c=params["classes"],
+    )
+    return workload, result.ops
+
+
+def sweep(protocol: str, parameter: str, values: list[int]) -> list[list]:
+    rows = []
+    for value in values:
+        workload, measured = measure(protocol, **{parameter: value})
+        predicted = table2_training_counts(workload, protocol)
+        ratios = [
+            f"{measured[k] / predicted[k]:.2f}" if predicted[k] else "-"
+            for k in ("ce", "cd", "cs", "cc")
+        ]
+        rows.append([f"{parameter}={value}", measured["ce"], measured["cd"],
+                     measured["cs"], measured["cc"], *ratios])
+    return rows
+
+
+def test_table2_basic_counts(benchmark):
+    def run():
+        workload, measured = measure("basic")
+        return workload, measured
+
+    workload, measured = benchmark.pedantic(run, rounds=1, iterations=1)
+    predicted = table2_training_counts(workload, "basic")
+    # The Ce count must track O(n c d_bar b t) within a constant factor.
+    assert 0.1 < measured["ce"] / predicted["ce"] < 20
+    assert 0.1 < measured["cd"] / predicted["cd"] < 20
+
+
+def test_table2_enhanced_has_n_scaling_decryptions(benchmark):
+    def run():
+        _, small = measure("enhanced", n=30)
+        _, large = measure("enhanced", n=60)
+        return small, large
+
+    small, large = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Enhanced decryptions grow with n (the O(nt)·Cd term); basic's do not.
+    assert large["cd"] > small["cd"] * 1.3
+
+
+def main() -> None:
+    header = ["sweep", "Ce", "Cd", "Cs", "Cc",
+              "Ce/pred", "Cd/pred", "Cs/pred", "Cc/pred"]
+    for protocol in ("basic", "enhanced"):
+        rows = []
+        rows += sweep(protocol, "n", [30, 60, 120])
+        rows += sweep(protocol, "b", [1, 2, 4])
+        rows += sweep(protocol, "d_bar", [1, 2, 4])
+        print_table(
+            f"Table 2 validation — {protocol} protocol "
+            "(measured counts and measured/predicted ratios)",
+            header,
+            rows,
+        )
+    print("\nReading: within each sweep the ratio columns should stay "
+          "roughly flat — measured cost follows the Table 2 asymptotics.")
+
+
+if __name__ == "__main__":
+    main()

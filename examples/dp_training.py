@@ -1,0 +1,42 @@
+"""Differentially private federated training (paper §9.2).
+
+Adds the centralized-DP mechanisms — noisy pruning counts (secure Laplace,
+Algorithm 5), exponential-mechanism split selection (Algorithm 6), noisy
+leaf statistics — inside the MPC so that the *released model itself* leaks
+only an ε-bounded amount about any individual training sample.
+
+Run:  python examples/dp_training.py
+"""
+
+from repro import DPConfig, PivotConfig, PivotContext, PivotDecisionTree, predict_batch
+from repro.data import make_classification, vertical_partition
+from repro.tree import TreeParams
+from repro.tree.metrics import accuracy
+
+
+def main() -> None:
+    X, y = make_classification(50, 4, n_classes=2, seed=20)
+    partition = vertical_partition(X, y, n_clients=3, task="classification")
+    params = TreeParams(max_depth=2, max_splits=3)
+
+    print("epsilon | total budget B=2e(h+1) | train accuracy")
+    print("--------+----------------------+---------------")
+    for epsilon in (0.25, 1.0, 5.0, None):
+        dp = None if epsilon is None else DPConfig(epsilon=epsilon)
+        ctx = PivotContext(
+            partition, PivotConfig(keysize=256, tree=params, dp=dp, seed=21)
+        )
+        model = PivotDecisionTree(ctx).fit()
+        acc = accuracy(predict_batch(model, ctx, X), y)
+        if epsilon is None:
+            print(f"  (none) |            --        | {acc:.3f}   <- non-DP")
+        else:
+            budget = dp.total_budget(params.max_depth)
+            print(f"  {epsilon:5.2f} |        {budget:5.1f}         | {acc:.3f}")
+
+    print("\nAll noise is sampled inside MPC (Algorithms 5-6): no client ever"
+          "\nsees the noise values, so no one can subtract them back out.")
+
+
+if __name__ == "__main__":
+    main()

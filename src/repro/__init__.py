@@ -1,0 +1,45 @@
+"""repro — a from-scratch reproduction of *Pivot: Privacy Preserving
+Vertical Federated Learning for Tree-based Models* (VLDB 2020).
+
+Public API highlights:
+
+* :class:`repro.core.PivotContext` / :class:`repro.core.PivotConfig` — set
+  up an m-client deployment over a vertical partition.
+* :class:`repro.core.PivotDecisionTree` — basic/enhanced protocol training.
+* :func:`repro.core.predict_basic` / :func:`repro.core.predict_enhanced` —
+  distributed prediction.
+* :class:`repro.core.PivotRandomForest` / :class:`repro.core.PivotGBDT` —
+  the ensemble extensions.
+* :mod:`repro.tree` — the plaintext CART/RF/GBDT baselines.
+* :mod:`repro.baselines` — SPDZ-DT and NPD-DT.
+* :mod:`repro.data` — synthetic generators and simulated paper datasets.
+"""
+
+from repro.core import (
+    DPConfig,
+    PivotConfig,
+    PivotContext,
+    PivotDecisionTree,
+    PivotGBDT,
+    PivotLogisticRegression,
+    PivotRandomForest,
+    predict_basic,
+    predict_batch,
+    predict_enhanced,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DPConfig",
+    "PivotConfig",
+    "PivotContext",
+    "PivotDecisionTree",
+    "PivotGBDT",
+    "PivotLogisticRegression",
+    "PivotRandomForest",
+    "predict_basic",
+    "predict_batch",
+    "predict_enhanced",
+    "__version__",
+]

@@ -1,0 +1,39 @@
+"""Cost analysis: op counters, primitive calibration, and the executable
+Table 2 model (paper §6).
+
+``opcount`` has no dependencies and is imported eagerly (the crypto/MPC
+layers use it); the calibration/cost-model helpers import the crypto stack
+and are loaded lazily to avoid import cycles.
+"""
+
+from repro.analysis import opcount
+
+__all__ = [
+    "PrimitiveCosts",
+    "Workload",
+    "calibrate",
+    "modeled_time",
+    "opcount",
+    "predicted_time",
+    "table2_prediction_counts",
+    "table2_training_counts",
+]
+
+_LAZY = {
+    "PrimitiveCosts": "repro.analysis.calibration",
+    "calibrate": "repro.analysis.calibration",
+    "Workload": "repro.analysis.costmodel",
+    "modeled_time": "repro.analysis.costmodel",
+    "predicted_time": "repro.analysis.costmodel",
+    "table2_prediction_counts": "repro.analysis.costmodel",
+    "table2_training_counts": "repro.analysis.costmodel",
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        import importlib
+
+        module = importlib.import_module(_LAZY[name])
+        return getattr(module, name)
+    raise AttributeError(f"module 'repro.analysis' has no attribute {name!r}")

@@ -1,0 +1,70 @@
+"""Global operation counters for the paper's cost model (§6, Table 2).
+
+Table 2 expresses protocol cost in four primitive operation classes:
+
+* **Ce** — computations on homomorphically encrypted values,
+* **Cd** — threshold decryptions (partial decryption + combination),
+* **Cs** — computations on secretly shared values,
+* **Cc** — secure comparisons (multi-round).
+
+The crypto and MPC layers increment these counters inline (hot-path cost is
+one integer add), and benchmarks snapshot/diff them to verify the Table 2
+formulas empirically and to compute modeled time
+(:mod:`repro.analysis.costmodel`).
+
+This module has no dependencies so every layer can import it.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+__all__ = ["OpCounter", "GLOBAL", "snapshot", "diff", "reset", "counting"]
+
+
+class OpCounter:
+    """Mutable tally of primitive operations."""
+
+    __slots__ = ("ce", "cd", "cs", "cc")
+
+    def __init__(self) -> None:
+        self.ce = 0
+        self.cd = 0
+        self.cs = 0
+        self.cc = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {"ce": self.ce, "cd": self.cd, "cs": self.cs, "cc": self.cc}
+
+    def reset(self) -> None:
+        self.ce = self.cd = self.cs = self.cc = 0
+
+
+#: Process-wide counter; protocols run single-threaded in this simulation.
+GLOBAL = OpCounter()
+
+
+def snapshot() -> dict[str, int]:
+    return GLOBAL.snapshot()
+
+
+def reset() -> None:
+    GLOBAL.reset()
+
+
+def diff(before: dict[str, int], after: dict[str, int] | None = None) -> dict[str, int]:
+    """Operations performed between two snapshots (after defaults to now)."""
+    if after is None:
+        after = snapshot()
+    return {key: after[key] - before[key] for key in before}
+
+
+@contextmanager
+def counting():
+    """Context manager yielding the op-count delta of its body."""
+    before = snapshot()
+    result: dict[str, int] = {}
+    try:
+        yield result
+    finally:
+        result.update(diff(before))

@@ -1,0 +1,7 @@
+"""Evaluation baselines: SPDZ-DT (pure MPC) and NPD-DT (non-private
+distributed), as defined in paper §8.1."""
+
+from repro.baselines.npd_dt import NpdDecisionTree, npd_predict
+from repro.baselines.spdz_dt import SpdzDecisionTree
+
+__all__ = ["NpdDecisionTree", "SpdzDecisionTree", "npd_predict"]

@@ -1,0 +1,39 @@
+"""Pivot: privacy-preserving vertical federated tree training/prediction.
+
+The paper's primary contribution (§4-§7, §9): basic and enhanced training
+protocols, distributed prediction, RF/GBDT extensions, vertical logistic
+regression, differential privacy, leakage attacks, and the malicious-model
+hardening.
+"""
+
+from repro.core.config import DPConfig, PivotConfig
+from repro.core.context import PivotClient, PivotContext
+from repro.core.ensemble import PivotGBDT, PivotRandomForest
+from repro.core.leakage import (
+    AttackResult,
+    feature_inference_attack,
+    label_inference_attack,
+)
+from repro.core.logistic import PivotLogisticRegression
+from repro.core.malicious import CheatingClient, MaliciousPivotDecisionTree
+from repro.core.prediction import predict_basic, predict_batch, predict_enhanced
+from repro.core.trainer import PivotDecisionTree
+
+__all__ = [
+    "AttackResult",
+    "CheatingClient",
+    "DPConfig",
+    "MaliciousPivotDecisionTree",
+    "PivotClient",
+    "PivotConfig",
+    "PivotContext",
+    "PivotDecisionTree",
+    "PivotGBDT",
+    "PivotLogisticRegression",
+    "PivotRandomForest",
+    "feature_inference_attack",
+    "label_inference_attack",
+    "predict_basic",
+    "predict_batch",
+    "predict_enhanced",
+]

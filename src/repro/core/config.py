@@ -1,0 +1,72 @@
+"""Configuration objects for the Pivot protocols."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.tree.cart import TreeParams
+
+__all__ = ["PivotConfig", "DPConfig"]
+
+#: Field size of the default MPC prime (Mersenne 2^127 - 1).
+FIELD_BITS = 127
+
+
+@dataclass(frozen=True)
+class DPConfig:
+    """Differential-privacy settings (§9.2).
+
+    ``epsilon`` is the per-query budget; a tree of maximum depth h consumes
+    B = 2·epsilon·(h + 1) in total (each node runs the pruning-condition
+    query plus either the non-leaf or the leaf query; same-depth nodes
+    compose in parallel).
+    """
+
+    epsilon: float = 1.0
+
+    def total_budget(self, max_depth: int) -> float:
+        return 2.0 * self.epsilon * (max_depth + 1)
+
+
+@dataclass(frozen=True)
+class PivotConfig:
+    """End-to-end protocol parameters (paper §8.1 defaults, scaled).
+
+    ``keysize`` is the threshold-Paillier modulus size.  The enhanced
+    protocol multiplies q-wrapped ciphertexts once per tree level (Eq. 10 /
+    private split selection), so its plaintexts grow by roughly one factor
+    of the MPC field per level; :meth:`validate_enhanced_depth` enforces the
+    resulting key-size requirement (the paper's 1024-bit default supports
+    its full h <= 6 range).
+    """
+
+    keysize: int = 512
+    frac_bits: int = 16
+    mpc_k: int = 40
+    kappa: int = 40
+    tree: TreeParams = field(default_factory=TreeParams)
+    gain_mode: str = "paper"  # "paper" (Eq. 5/6 verbatim) | "reduced"
+    protocol: str = "basic"  # "basic" | "enhanced"
+    dp: DPConfig | None = None
+    authenticated_mpc: bool = False  # SPDZ MACs + verified conversions (§9.1)
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.gain_mode not in ("paper", "reduced"):
+            raise ValueError(f"unknown gain_mode {self.gain_mode!r}")
+        if self.protocol not in ("basic", "enhanced"):
+            raise ValueError(f"unknown protocol {self.protocol!r}")
+        if self.keysize < 128:
+            raise ValueError("keysize must be at least 128 bits")
+        self.tree.validate()
+        if self.protocol == "enhanced":
+            self.validate_enhanced_depth()
+
+    def validate_enhanced_depth(self) -> None:
+        needed = (self.tree.max_depth + 1) * FIELD_BITS + 128
+        if self.keysize < needed:
+            raise ValueError(
+                f"enhanced protocol with max_depth={self.tree.max_depth} needs "
+                f"keysize >= {needed} bits (q-wrap growth through Eq. 10); "
+                f"got {self.keysize}"
+            )

@@ -1,0 +1,191 @@
+"""Runtime context for a Pivot deployment: keys, engine, clients, accounting.
+
+The initialization stage of the protocol (§3.4): the m clients agree on
+hyper-parameters, jointly generate the threshold-Paillier keys (every
+client receives pk and a partial secret key), and set up the MPC engine.
+:class:`PivotContext` bundles all of it for the simulated single-process
+deployment, and centralises the cost accounting every experiment reads:
+HE/decryption op counts, MPC rounds, bus bytes, and the log of every value
+the protocol reveals in plaintext (used by the privacy tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import PivotConfig
+from repro.crypto.encoding import EncryptedNumber, PaillierEncoder
+from repro.crypto.threshold import ThresholdPaillier, generate_threshold_keypair
+from repro.data.partition import VerticalPartition
+from repro.mpc.advanced import FixedPointOps
+from repro.mpc.conversion import (
+    ConversionCounters,
+    ciphers_to_shares,
+    decrypt_shared_cipher,
+    share_to_cipher,
+)
+from repro.mpc.engine import MPCEngine
+from repro.mpc.sharing import SharedValue
+from repro.network.bus import MessageBus
+from repro.tree.splits import candidate_splits
+
+__all__ = ["PivotClient", "PivotContext"]
+
+
+@dataclass
+class PivotClient:
+    """One client u_i: her local features and candidate splits (§3.1)."""
+
+    index: int
+    features: np.ndarray  # n x d_i, client-local columns
+    split_values: list[list[float]]  # per local feature, <= b thresholds
+
+    @property
+    def n_features(self) -> int:
+        return self.features.shape[1]
+
+    def n_splits(self, feature: int) -> int:
+        return len(self.split_values[feature])
+
+    def indicator(self, feature: int, split: int) -> np.ndarray:
+        """v_l for the split: 1 where sample's value <= threshold (§4.1)."""
+        threshold = self.split_values[feature][split]
+        return (self.features[:, feature] <= threshold).astype(np.int64)
+
+    def indicator_matrix(self, feature: int) -> np.ndarray:
+        """V (n x n'): columns are the v_l vectors of one feature (§5.2)."""
+        return np.column_stack(
+            [self.indicator(feature, s) for s in range(self.n_splits(feature))]
+        )
+
+
+class PivotContext:
+    """Shared runtime for all Pivot protocols over one vertical partition."""
+
+    def __init__(self, partition: VerticalPartition, config: PivotConfig | None = None):
+        self.partition = partition
+        self.config = config or PivotConfig()
+        m = partition.n_clients
+        self.threshold = generate_threshold_keypair(m, self.config.keysize)
+        self.encoder = PaillierEncoder(
+            self.threshold.public_key, frac_bits=self.config.frac_bits
+        )
+        self.engine = MPCEngine(
+            m,
+            kappa=self.config.kappa,
+            authenticated=self.config.authenticated_mpc,
+            seed=self.config.seed,
+        )
+        self.fx = FixedPointOps(
+            self.engine, k=self.config.mpc_k, f=self.config.frac_bits
+        )
+        self.bus = MessageBus(m)
+        self.conversions = ConversionCounters()
+        self.clients = [
+            PivotClient(
+                index=i,
+                features=partition.local_features[i],
+                split_values=[
+                    candidate_splits(
+                        partition.local_features[i][:, j], self.config.tree.max_splits
+                    )
+                    for j in range(partition.local_features[i].shape[1])
+                ],
+            )
+            for i in range(m)
+        ]
+        #: Everything any protocol run reveals in plaintext, as (tag, value)
+        #: pairs; privacy tests assert nothing else leaks.
+        self.revealed: list[tuple[str, object]] = []
+
+    # -- basic facts -----------------------------------------------------------
+
+    @property
+    def n_clients(self) -> int:
+        return self.partition.n_clients
+
+    @property
+    def n_samples(self) -> int:
+        return self.partition.n_samples
+
+    @property
+    def super_client(self) -> int:
+        return self.partition.super_client
+
+    @property
+    def ciphertext_bytes(self) -> int:
+        return 2 * ((self.threshold.public_key.n.bit_length() + 7) // 8)
+
+    def split_identifiers(self, available: list[list[int]]) -> list[tuple[int, int, int]]:
+        """Flat enumeration (i, j, s) of all splits of the available features.
+
+        Order: clients ascending, client-local features ascending, split
+        values ascending — the tie-break order shared with plaintext CART.
+        """
+        identifiers = []
+        for client in self.clients:
+            for j in available[client.index]:
+                for s in range(client.n_splits(j)):
+                    identifiers.append((client.index, j, s))
+        return identifiers
+
+    # -- crypto helpers with accounting ------------------------------------------
+
+    def encrypt_indicator(self, bits: np.ndarray) -> list[EncryptedNumber]:
+        return [self.encoder.encrypt(int(b)) for b in bits]
+
+    def joint_decrypt(self, value: EncryptedNumber, tag: str, wrapped: bool = False) -> float:
+        """All-client decryption of a protocol output; logged as revealed."""
+        self.bus.broadcast(0, self.ciphertext_bytes, tag="threshold-decrypt")
+        self.bus.round()
+        if wrapped:
+            result = decrypt_shared_cipher(
+                value, self.threshold, self.fx, self.conversions
+            )
+        else:
+            raw = self.threshold.joint_decrypt(value.ciphertext)
+            self.conversions.threshold_decryptions += 1
+            result = raw * 2.0**value.exponent
+        self.revealed.append((tag, result))
+        return result
+
+    def to_shares(self, values: list[EncryptedNumber]) -> list[SharedValue]:
+        """Algorithm 2 over a batch, with bus accounting."""
+        m = self.n_clients
+        for _ in values:
+            self.bus.broadcast(0, self.ciphertext_bytes * (m - 1), tag="mpc-convert")
+        self.bus.round(2)
+        return ciphers_to_shares(values, self.threshold, self.fx, self.conversions)
+
+    def to_cipher(self, value: SharedValue, exponent: int | None = None) -> EncryptedNumber:
+        """Reverse conversion (§5.2), with bus accounting."""
+        self.bus.broadcast(0, self.ciphertext_bytes * self.n_clients, tag="mpc-convert")
+        self.bus.round()
+        return share_to_cipher(
+            value, self.threshold, self.fx, self.conversions, exponent=exponent
+        )
+
+    def open_bit(self, bit: SharedValue, tag: str) -> int:
+        """Open a shared 0/1 decision (pruning conditions etc.); logged."""
+        value = self.engine.open(bit)
+        if value not in (0, 1):
+            raise ValueError(f"expected a shared bit, opened {value}")
+        self.revealed.append((tag, value))
+        return value
+
+    def open_value(self, value: SharedValue, tag: str, fixed_point: bool = True) -> float:
+        opened = self.fx.open(value) if fixed_point else self.engine.open(value)
+        self.revealed.append((tag, opened))
+        return opened
+
+    # -- reporting ----------------------------------------------------------------
+
+    def cost_snapshot(self) -> dict[str, object]:
+        return {
+            "bus": self.bus.snapshot(),
+            "mpc": self.engine.stats.snapshot(),
+            "conversions": self.conversions.snapshot(),
+            "dealer": self.engine.dealer.usage.snapshot(),
+        }

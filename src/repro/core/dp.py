@@ -1,0 +1,109 @@
+"""Differential privacy inside MPC (paper §9.2, Algorithms 5 and 6).
+
+* :meth:`DPMechanisms.laplace_noise` — Algorithm 5: sample ⟨X⟩ ~ Lap(μ, b)
+  by inverse-transform sampling computed entirely on shares:
+  X = μ - b·sign(U)·ln(1 - 2|U|) for U uniform on (-1/2, 1/2).  The secure
+  ln comes from :meth:`repro.mpc.advanced.FixedPointOps.ln`.
+* :meth:`DPMechanisms.exponential_mechanism` — Algorithm 6: select an index
+  with probability ∝ exp(ε·score / 2Δ), again fully on shares: secure
+  exponentials, shared cumulative sums, a shared uniform draw scaled by the
+  total (avoiding per-score divisions, distribution-equivalent to the
+  paper's explicit normalisation), and comparisons locating the sampled
+  interval.
+
+The training integration (noisy pruning counts, exponential-mechanism split
+selection, noisy leaf statistics, budget B = 2ε(h+1)) lives in
+:mod:`repro.core.trainer`.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import DPConfig
+from repro.mpc import comparison
+from repro.mpc.advanced import FixedPointOps
+from repro.mpc.sharing import SharedValue
+
+__all__ = ["DPMechanisms"]
+
+#: Gini-gain sensitivity for the exponential mechanism (Friedman & Schuster).
+GAIN_SENSITIVITY = 2.0
+
+
+class DPMechanisms:
+    """Shared-value DP primitives bound to one fixed-point calculator."""
+
+    def __init__(self, fx: FixedPointOps, config: DPConfig):
+        if config.epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        self.fx = fx
+        self.config = config
+
+    # ------------------------------------------------------------------
+    # Algorithm 5
+    # ------------------------------------------------------------------
+
+    def laplace_sample(self, mu: float, scale: float) -> SharedValue:
+        """⟨X⟩ ~ Lap(mu, scale), nobody learns the noise (Algorithm 5)."""
+        fx = self.fx
+        engine = fx.engine
+        # Line 1: uniform ⟨U⟩ in (-1/2, 1/2).
+        u01 = fx.uniform_fraction()
+        u = u01 - fx.share(0.5)
+        # Lines 2-8: sign and absolute value (branch-free: the paper's
+        # three-way case split is sign extraction).
+        negative = fx.ltz(u)  # ⟨1⟩ iff U < 0
+        sign = engine.add_public(negative * (-2), 1)  # 1 - 2·neg = ±1
+        magnitude = engine.mul(sign, u)  # |U|
+        # Line 9: X = mu - b·sign·ln(1 - 2|U|); the 2^-F nudge keeps the
+        # argument strictly positive on the sampling grid.
+        inner = fx.share(1.0) - magnitude * 2 + fx.share(2.0**-fx.f)
+        log_term = fx.ln(inner)
+        noise = fx.mul_public(engine.mul(sign, log_term), scale)
+        return fx.share(mu) - noise
+
+    def laplace_noise(self, sensitivity: float) -> SharedValue:
+        """⟨Lap(Δ/ε)⟩ for this budget's per-query ε."""
+        return self.laplace_sample(0.0, sensitivity / self.config.epsilon)
+
+    # ------------------------------------------------------------------
+    # Algorithm 6
+    # ------------------------------------------------------------------
+
+    def exponential_mechanism(
+        self, scores: list[SharedValue], sensitivity: float = GAIN_SENSITIVITY
+    ) -> tuple[SharedValue, list[SharedValue]]:
+        """Select ⟨index⟩ with Pr[r] ∝ exp(ε·score_r / 2Δ) (Algorithm 6).
+
+        Returns (⟨index⟩, one-hot ⟨λ⟩) — the same interface as the secure
+        argmax, so the trainer can swap mechanisms transparently.
+        """
+        if not scores:
+            raise ValueError("exponential mechanism needs at least one score")
+        fx = self.fx
+        engine = fx.engine
+        factor = self.config.epsilon / (2.0 * sensitivity)
+        # Lines 1-2: ⟨prob_r⟩ = exp(ε·score_r / 2Δ).
+        probs = [fx.exp(fx.mul_public(s, factor)) for s in scores]
+        # Lines 3-7: cumulative sums; sampling U uniform on (0, P) instead
+        # of normalising each F_r is the same distribution, R fewer
+        # divisions.
+        cumulative: list[SharedValue] = []
+        running = engine.share_public(0)
+        for p in probs:
+            running = running + p
+            cumulative.append(running)
+        total = running
+        u = fx.mul(fx.uniform_fraction(), total)  # uniform on (0, P)
+        # Lines 9-14: locate the interval: index = #{r < R-1 : C_r < U}.
+        above = [fx.lt(c, u) for c in cumulative[:-1]]
+        index = engine.share_public(0)
+        for bit in above:
+            index = index + bit
+        # One-hot from consecutive indicator differences.
+        onehot: list[SharedValue] = []
+        previous = engine.share_public(1)
+        for bit in above:
+            onehot.append(previous - bit)
+            previous = bit
+        onehot.append(previous)
+        return index, onehot

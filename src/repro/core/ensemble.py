@@ -1,0 +1,334 @@
+"""Pivot ensemble extensions: random forest and GBDT (paper §7).
+
+**Pivot-RF** (§7.1): trees are independent basic-protocol CARTs over public
+row subsets (sampling without replacement keeps the per-tree sample set
+expressible as the initial encrypted mask vector).  Prediction aggregates
+*encrypted* per-tree outputs: per-class vote ciphertexts are summed
+homomorphically, converted to shares once, and the winner found with the
+secure maximum (classification), or the encrypted mean is decrypted
+directly (regression).
+
+**Pivot-GBDT** (§7.2): trees are trained sequentially; the training labels
+of round w+1 are the encrypted residuals [Y^{w+1}] = [Y] - [Ŷ^w], which no
+client ever sees.  Each round:
+
+* the clients jointly predict every training sample through the new tree
+  with Algorithm 4, keeping the outputs encrypted,
+* the encrypted running estimate [Ŷ] and residuals are updated
+  homomorphically,
+* for the next round's regression-tree statistics the clients compute the
+  encrypted squared residuals once per round via an MPC round-trip
+  (shares → secure square → ciphertext), which is the paper's γ2
+  optimisation.
+
+GBDT classification uses one-vs-the-rest: c parallel regression chains
+whose round-w residuals are [onehot_k] - [p_k] with ⟨p⟩ = secure softmax
+over the converted per-class scores.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.context import PivotContext
+from repro.core.labels import EncryptedLabelProvider, PlaintextLabelProvider
+from repro.core.prediction import predict_basic_encrypted
+from repro.core.trainer import PivotDecisionTree
+from repro.crypto.encoding import EncryptedNumber, encrypted_dot_product
+from repro.tree.forest import forest_subsets
+from repro.tree.model import DecisionTreeModel
+
+__all__ = ["PivotRandomForest", "PivotGBDT"]
+
+
+def _global_rows(context: PivotContext) -> np.ndarray:
+    """Reassemble the global training matrix from the clients' local views
+    (simulation helper: each client only ever reads her own columns)."""
+    n = context.n_samples
+    d = sum(len(c) for c in context.partition.columns_per_client)
+    rows = np.zeros((n, d))
+    for client, cols in zip(context.clients, context.partition.columns_per_client):
+        for local, global_col in enumerate(cols):
+            rows[:, global_col] = client.features[:, local]
+    return rows
+
+
+class PivotRandomForest:
+    """Privacy-preserving random forest (§7.1)."""
+
+    def __init__(
+        self,
+        context: PivotContext,
+        n_trees: int = 4,
+        sample_fraction: float = 0.8,
+        seed: int | None = None,
+    ):
+        if context.config.protocol != "basic":
+            raise ValueError("ensembles release trees in plaintext (§7): use basic")
+        if n_trees < 1:
+            raise ValueError("n_trees must be >= 1")
+        self.ctx = context
+        self.task = context.partition.task
+        self.n_trees = n_trees
+        self.sample_fraction = sample_fraction
+        self.seed = seed
+        self.models: list[DecisionTreeModel] = []
+        self.n_classes = 0
+
+    def fit(self) -> "PivotRandomForest":
+        ctx = self.ctx
+        masks = forest_subsets(
+            ctx.n_samples, self.n_trees, self.sample_fraction, self.seed
+        )
+        self.models = []
+        for mask in masks:
+            trainer = PivotDecisionTree(ctx)
+            self.models.append(trainer.fit(initial_mask=mask))
+            if self.task == "classification":
+                self.n_classes = trainer.provider.n_classes
+        return self
+
+    def predict(self, rows: np.ndarray) -> np.ndarray:
+        if not self.models:
+            raise RuntimeError("fit() must be called before predict()")
+        out = [self._predict_row(np.asarray(row)) for row in np.asarray(rows)]
+        dtype = np.int64 if self.task == "classification" else np.float64
+        return np.asarray(out, dtype=dtype)
+
+    def _predict_row(self, row: np.ndarray) -> float | int:
+        ctx = self.ctx
+        if self.task == "classification":
+            votes: list[EncryptedNumber | None] = [None] * self.n_classes
+            for model in self.models:
+                encrypted_eta = _encrypted_eta(model, ctx, row)
+                for k in range(self.n_classes):
+                    coeff = [
+                        1 if int(leaf.prediction) == k else 0
+                        for leaf in model.leaves()
+                    ]
+                    vote = encrypted_dot_product(coeff, encrypted_eta)
+                    wrapped = ctx.encoder.wrap(vote.ciphertext, 0)
+                    votes[k] = wrapped if votes[k] is None else votes[k] + wrapped
+            shares = ctx.to_shares([v for v in votes if v is not None])
+            index, _, _ = ctx.fx.argmax(shares)
+            return int(ctx.engine.open(index))
+        total: EncryptedNumber | None = None
+        for model in self.models:
+            pred = predict_basic_encrypted(model, ctx, row)
+            total = pred if total is None else total + pred
+        mean = total * (1.0 / self.n_trees)
+        return float(ctx.joint_decrypt(mean, tag="rf-prediction"))
+
+
+def _encrypted_eta(
+    model: DecisionTreeModel, context: PivotContext, row: np.ndarray
+) -> list[EncryptedNumber]:
+    """Algorithm 4's round-robin [η] update, returning the leaf vector."""
+    from repro.core.prediction import _local_slices
+
+    ctx = context
+    slices = _local_slices(ctx, row)
+    paths = model.leaf_paths()
+    eta = [ctx.encoder.encrypt(1) for _ in paths]
+    for client_index in reversed(range(ctx.n_clients)):
+        local = slices[client_index]
+        for leaf_pos, path in enumerate(paths):
+            factor = 1
+            for node, direction in path:
+                if node.owner != client_index:
+                    continue
+                goes_left = local[node.feature] <= node.threshold
+                factor &= int((direction == 0) == goes_left)
+            eta[leaf_pos] = eta[leaf_pos] * factor
+        if client_index > 0:
+            ctx.bus.send(
+                client_index, client_index - 1,
+                ctx.ciphertext_bytes * len(eta), tag="prediction-vector",
+            )
+    ctx.bus.round()
+    return eta
+
+
+class PivotGBDT:
+    """Privacy-preserving gradient boosting (§7.2)."""
+
+    def __init__(
+        self,
+        context: PivotContext,
+        n_rounds: int = 4,
+        learning_rate: float = 0.3,
+        use_softmax: bool = True,
+    ):
+        if context.config.protocol != "basic":
+            raise ValueError("ensembles release trees in plaintext (§7): use basic")
+        if n_rounds < 1:
+            raise ValueError("n_rounds must be >= 1")
+        if not 0 < learning_rate <= 1:
+            raise ValueError("learning_rate must be in (0, 1]")
+        self.ctx = context
+        self.task = context.partition.task
+        self.n_rounds = n_rounds
+        self.learning_rate = learning_rate
+        self.use_softmax = use_softmax
+        self.label_scale = 1.0
+        self.n_classes = 0
+        self.models: list[DecisionTreeModel] = []  # regression
+        self.class_models: list[list[DecisionTreeModel]] = []  # [round][class]
+
+    # ------------------------------------------------------------------
+
+    def fit(self) -> "PivotGBDT":
+        if self.task == "regression":
+            return self._fit_regression()
+        return self._fit_classification()
+
+    def _fit_regression(self) -> "PivotGBDT":
+        ctx = self.ctx
+        labels = np.asarray(ctx.partition.labels, dtype=np.float64)
+        self.label_scale = float(np.max(np.abs(labels))) or 1.0
+        normalized = labels / self.label_scale
+        rows = _global_rows(ctx)
+        encoder = ctx.encoder
+        # [Y]: the encrypted (normalised) ground-truth labels.
+        label_cts = [encoder.encrypt(float(y)) for y in normalized]
+        estimate: list[EncryptedNumber] | None = None
+        self.models = []
+        for round_index in range(self.n_rounds):
+            if round_index == 0:
+                provider = PlaintextLabelProvider(
+                    ctx, normalized, "regression"
+                )
+            else:
+                residual = [
+                    y - est for y, est in zip(label_cts, estimate)  # type: ignore[arg-type]
+                ]
+                gamma2 = self._encrypted_squares(residual)
+                provider = EncryptedLabelProvider(
+                    ctx, residual, gamma2, label_scale=1.0
+                )
+            model = PivotDecisionTree(ctx, provider).fit()
+            self.models.append(model)
+            if round_index == self.n_rounds - 1:
+                break
+            # Joint prediction of all training samples, kept encrypted.
+            preds = [
+                predict_basic_encrypted(model, ctx, row) * self.learning_rate
+                for row in rows
+            ]
+            if estimate is None:
+                estimate = preds
+            else:
+                estimate = [e + p for e, p in zip(estimate, preds)]
+        return self
+
+    def _fit_classification(self) -> "PivotGBDT":
+        ctx = self.ctx
+        labels = np.asarray(ctx.partition.labels, dtype=np.int64)
+        self.n_classes = max(2, int(labels.max()) + 1)
+        rows = _global_rows(ctx)
+        encoder = ctx.encoder
+        onehot = np.eye(self.n_classes)[labels]
+        onehot_cts = [
+            [encoder.encrypt(float(onehot[t, k])) for t in range(len(labels))]
+            for k in range(self.n_classes)
+        ]
+        scores: list[list[EncryptedNumber]] | None = None  # [class][sample]
+        residual_plain = onehot - 1.0 / self.n_classes  # softmax of zeros
+        residual_cts: list[list[EncryptedNumber]] | None = None
+        self.class_models = []
+        for round_index in range(self.n_rounds):
+            round_models = []
+            for k in range(self.n_classes):
+                if round_index == 0:
+                    provider = PlaintextLabelProvider(
+                        ctx, residual_plain[:, k], "regression"
+                    )
+                    provider.label_scale = 1.0  # residuals stay in score units
+                    provider.betas = [residual_plain[:, k], residual_plain[:, k] ** 2]
+                else:
+                    res_k = residual_cts[k]  # type: ignore[index]
+                    provider = EncryptedLabelProvider(
+                        ctx, res_k, self._encrypted_squares(res_k), label_scale=1.0
+                    )
+                round_models.append(PivotDecisionTree(ctx, provider).fit())
+            self.class_models.append(round_models)
+            if round_index == self.n_rounds - 1:
+                break
+            # Update encrypted scores and residuals via secure softmax.
+            new_scores = []
+            for k in range(self.n_classes):
+                preds = [
+                    predict_basic_encrypted(round_models[k], ctx, row)
+                    * self.learning_rate
+                    for row in rows
+                ]
+                if scores is None:
+                    new_scores.append(preds)
+                else:
+                    new_scores.append([s + p for s, p in zip(scores[k], preds)])
+            scores = new_scores
+            residual_cts = self._softmax_residuals(scores, onehot_cts)
+        return self
+
+    # ------------------------------------------------------------------
+
+    def _encrypted_squares(
+        self, values: list[EncryptedNumber]
+    ) -> list[EncryptedNumber]:
+        """[y²] per element: shares -> secure square -> ciphertext (§7.2)."""
+        ctx = self.ctx
+        shares = ctx.to_shares(values)
+        squares = [ctx.fx.mul(s, s) for s in shares]
+        return [ctx.to_cipher(sq) for sq in squares]
+
+    def _softmax_residuals(
+        self,
+        scores: list[list[EncryptedNumber]],
+        onehot_cts: list[list[EncryptedNumber]],
+    ) -> list[list[EncryptedNumber]]:
+        """[onehot_k - softmax_k(scores)] for every sample (§7.2)."""
+        ctx = self.ctx
+        n = len(scores[0])
+        residuals: list[list[EncryptedNumber]] = [[] for _ in range(self.n_classes)]
+        for t in range(n):
+            per_class = ctx.to_shares([scores[k][t] for k in range(self.n_classes)])
+            probs = ctx.fx.softmax(per_class)
+            for k in range(self.n_classes):
+                p_ct = ctx.to_cipher(probs[k])
+                residuals[k].append(onehot_cts[k][t] - p_ct)
+        return residuals
+
+    # ------------------------------------------------------------------
+
+    def predict(self, rows: np.ndarray) -> np.ndarray:
+        if self.task == "regression":
+            out = [self._predict_regression(np.asarray(r)) for r in np.asarray(rows)]
+            return np.asarray(out, dtype=np.float64)
+        out = [self._predict_classification(np.asarray(r)) for r in np.asarray(rows)]
+        return np.asarray(out, dtype=np.int64)
+
+    def _predict_regression(self, row: np.ndarray) -> float:
+        if not self.models:
+            raise RuntimeError("fit() must be called before predict()")
+        ctx = self.ctx
+        total: EncryptedNumber | None = None
+        for model in self.models:
+            pred = predict_basic_encrypted(model, ctx, row) * self.learning_rate
+            total = pred if total is None else total + pred
+        value = ctx.joint_decrypt(total, tag="gbdt-prediction")
+        return float(value * self.label_scale)
+
+    def _predict_classification(self, row: np.ndarray) -> int:
+        if not self.class_models:
+            raise RuntimeError("fit() must be called before predict()")
+        ctx = self.ctx
+        score_cts: list[EncryptedNumber | None] = [None] * self.n_classes
+        for round_models in self.class_models:
+            for k, model in enumerate(round_models):
+                pred = predict_basic_encrypted(model, ctx, row) * self.learning_rate
+                score_cts[k] = pred if score_cts[k] is None else score_cts[k] + pred
+        shares = ctx.to_shares([s for s in score_cts if s is not None])
+        if self.use_softmax:
+            shares = ctx.fx.softmax(shares)
+        index, _, _ = ctx.fx.argmax(shares)
+        return int(ctx.engine.open(index))

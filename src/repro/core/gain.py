@@ -1,0 +1,158 @@
+"""Secure impurity-gain computation over secret-shared statistics (§4.1-4.2).
+
+Given the converted split statistics ⟨n_l⟩, ⟨n_r⟩, ⟨g_{l,k}⟩, ⟨g_{r,k}⟩
+(classification) or ⟨n⟩, ⟨Σy⟩, ⟨Σy²⟩ per side (regression), computes the
+shared gain of every candidate split with the SPDZ primitives.
+
+Two modes (DESIGN.md §5):
+
+* ``paper`` — Eq. (5)/(6) verbatim: fractions via secure division (Eq. 8),
+  weights w_l, w_r, squared fractions, weighted sums.
+* ``reduced`` — the ranking-equivalent statistic Σ_k g²/n per side, two
+  divisions per split; gains are then relative to the parent's statistic.
+
+Both return values on a common scale such that (gain - leaf_threshold) > 0
+iff the plaintext CART gain exceeds ``min_gain``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mpc.advanced import FixedPointOps
+from repro.mpc.sharing import SharedValue
+
+__all__ = ["SplitStats", "NodeStats", "secure_split_gains"]
+
+
+@dataclass
+class SplitStats:
+    """Shared statistics of one candidate split (left/right children)."""
+
+    n_left: SharedValue
+    n_right: SharedValue
+    left: list[SharedValue]  # per class counts, or [Σy, Σy²]
+    right: list[SharedValue]
+
+
+@dataclass
+class NodeStats:
+    """Shared statistics of the node being split."""
+
+    n: SharedValue
+    totals: list[SharedValue]  # per class counts, or [Σy, Σy²]
+
+
+def secure_split_gains(
+    fx: FixedPointOps,
+    task: str,
+    node: NodeStats,
+    splits: list[SplitStats],
+    gain_mode: str,
+    min_gain: float,
+) -> tuple[list[SharedValue], SharedValue]:
+    """Shared gains for all splits plus the shared leaf threshold.
+
+    The caller declares the node a leaf iff  max(gains) <= threshold,
+    and otherwise picks argmax(gains); both comparisons happen on shares.
+    """
+    if task == "classification":
+        if gain_mode == "paper":
+            return _classification_paper(fx, node, splits, min_gain)
+        return _classification_reduced(fx, node, splits, min_gain)
+    if gain_mode == "paper":
+        return _regression_paper(fx, node, splits, min_gain)
+    return _regression_reduced(fx, node, splits, min_gain)
+
+
+# ---------------------------------------------------------------------------
+# classification
+# ---------------------------------------------------------------------------
+
+
+def _classification_paper(
+    fx: FixedPointOps, node: NodeStats, splits: list[SplitStats], min_gain: float
+) -> tuple[list[SharedValue], SharedValue]:
+    """Eq. (5): gain = w_l Σ p_{l,k}² + w_r Σ p_{r,k}² - Σ p_k²."""
+    parent_term = _sum_squared_fractions(fx, node.totals, node.n)
+    gains = []
+    for split in splits:
+        w_left = fx.div(split.n_left, node.n)
+        w_right = fx.share(1.0) - w_left
+        left_term = _sum_squared_fractions(fx, split.left, split.n_left)
+        right_term = _sum_squared_fractions(fx, split.right, split.n_right)
+        gain = fx.mul(w_left, left_term) + fx.mul(w_right, right_term) - parent_term
+        gains.append(gain)
+    return gains, fx.share(min_gain)
+
+
+def _classification_reduced(
+    fx: FixedPointOps, node: NodeStats, splits: list[SplitStats], min_gain: float
+) -> tuple[list[SharedValue], SharedValue]:
+    """Σ_k g_{l,k}²/n_l + Σ_k g_{r,k}²/n_r, compared against the parent's
+    Σ_k g_k²/n + n·min_gain (the n-scaled form of Eq. 5)."""
+    gains = [
+        fx.div(_sum_of_squares(fx, split.left), split.n_left)
+        + fx.div(_sum_of_squares(fx, split.right), split.n_right)
+        for split in splits
+    ]
+    threshold = fx.div(_sum_of_squares(fx, node.totals), node.n)
+    if min_gain:
+        threshold = threshold + fx.mul_public(node.n, min_gain)
+    return gains, threshold
+
+
+def _sum_squared_fractions(
+    fx: FixedPointOps, counts: list[SharedValue], denominator: SharedValue
+) -> SharedValue:
+    """Σ_k (g_k / n)² via Eq. (8) fractions."""
+    fractions = [fx.div(g, denominator) for g in counts]
+    squares = [fx.mul(p, p) for p in fractions]
+    return fx.engine.sum_values(squares)
+
+
+def _sum_of_squares(fx: FixedPointOps, values: list[SharedValue]) -> SharedValue:
+    return fx.engine.sum_values([fx.mul(v, v) for v in values])
+
+
+# ---------------------------------------------------------------------------
+# regression
+# ---------------------------------------------------------------------------
+
+
+def _impurity(fx: FixedPointOps, stats: list[SharedValue], n: SharedValue) -> SharedValue:
+    """IV = Σy²/n - (Σy/n)²  (Eq. 6)."""
+    mean_sq = fx.div(stats[1], n)
+    mean = fx.div(stats[0], n)
+    return mean_sq - fx.mul(mean, mean)
+
+
+def _regression_paper(
+    fx: FixedPointOps, node: NodeStats, splits: list[SplitStats], min_gain: float
+) -> tuple[list[SharedValue], SharedValue]:
+    """gain = IV(D) - w_l IV(D_l) - w_r IV(D_r)."""
+    parent = _impurity(fx, node.totals, node.n)
+    gains = []
+    for split in splits:
+        w_left = fx.div(split.n_left, node.n)
+        w_right = fx.share(1.0) - w_left
+        iv_left = _impurity(fx, split.left, split.n_left)
+        iv_right = _impurity(fx, split.right, split.n_right)
+        gain = parent - fx.mul(w_left, iv_left) - fx.mul(w_right, iv_right)
+        gains.append(gain)
+    return gains, fx.share(min_gain)
+
+
+def _regression_reduced(
+    fx: FixedPointOps, node: NodeStats, splits: list[SplitStats], min_gain: float
+) -> tuple[list[SharedValue], SharedValue]:
+    """(Σ_l y)²/n_l + (Σ_r y)²/n_r vs the parent's (Σy)²/n (+ n·min_gain)."""
+    gains = []
+    for split in splits:
+        left = fx.div(fx.mul(split.left[0], split.left[0]), split.n_left)
+        right = fx.div(fx.mul(split.right[0], split.right[0]), split.n_right)
+        gains.append(left + right)
+    threshold = fx.div(fx.mul(node.totals[0], node.totals[0]), node.n)
+    if min_gain:
+        threshold = threshold + fx.mul_public(node.n, min_gain)
+    return gains, threshold

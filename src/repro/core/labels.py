@@ -1,0 +1,105 @@
+"""Label providers: how the per-node encrypted label vectors [γ] arise.
+
+Two regimes from the paper:
+
+* **Plaintext labels at the super client** (§4.1–4.2): for every node the
+  super client builds the auxiliary indicator vectors β (one per class for
+  classification; β1 = y, β2 = y² for regression), multiplies them
+  element-wise into the node's encrypted mask vector [α] and broadcasts the
+  resulting [γ] vectors.
+* **Encrypted labels** (GBDT rounds >= 2, §7.2): nobody holds the labels in
+  plaintext.  The [γ] vectors are computed once per round from the
+  encrypted residual vector and thereafter ride along with [α]: the client
+  owning each chosen split masks them with her indicator vector during the
+  model-update step — the paper's optimisation avoiding per-node ciphertext
+  multiplications.
+
+Regression labels are normalised to [-1, 1] (fixed-point range hygiene);
+``label_scale`` converts leaf predictions back to label units.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crypto.encoding import EncryptedNumber
+
+__all__ = ["PlaintextLabelProvider", "EncryptedLabelProvider"]
+
+
+class PlaintextLabelProvider:
+    """The super client holds Y in plaintext (single trees, RF, GBDT w=1)."""
+
+    def __init__(self, context, labels: np.ndarray, task: str, n_classes: int = 0):
+        self.context = context
+        self.task = task
+        if task == "classification":
+            labels = np.asarray(labels, dtype=np.int64)
+            self.n_classes = max(n_classes, int(labels.max()) + 1, 2)
+            self.betas = [
+                (labels == k).astype(np.int64) for k in range(self.n_classes)
+            ]
+            self.label_scale = 1.0
+        else:
+            labels = np.asarray(labels, dtype=np.float64)
+            self.n_classes = 0
+            self.label_scale = float(np.max(np.abs(labels))) or 1.0
+            normalized = labels / self.label_scale
+            self.betas = [normalized, normalized**2]
+        self.rides_with_alpha = False
+
+    @property
+    def n_vectors(self) -> int:
+        return len(self.betas)
+
+    def gammas(
+        self, alpha: list[EncryptedNumber], node_gammas
+    ) -> list[list[EncryptedNumber]]:
+        """[γ] = β ∘ [α], computed and broadcast by the super client (§4.1).
+
+        ``node_gammas`` is ignored in this regime (recomputed per node).
+        """
+        ctx = self.context
+        result = []
+        for beta in self.betas:
+            if self.task == "classification":
+                gamma = [a * int(b) for a, b in zip(alpha, beta)]
+            else:
+                encoded = [ctx.encoder.encode(float(b)) for b in beta]
+                gamma = [a * e for a, e in zip(alpha, encoded)]
+            result.append(gamma)
+            ctx.bus.broadcast(
+                ctx.super_client,
+                ctx.ciphertext_bytes * len(gamma),
+                tag="label-vectors",
+            )
+        ctx.bus.round()
+        return result
+
+
+class EncryptedLabelProvider:
+    """Labels exist only as ciphertexts (GBDT regression rounds >= 2, §7.2)."""
+
+    def __init__(
+        self,
+        context,
+        gamma1: list[EncryptedNumber],
+        gamma2: list[EncryptedNumber],
+        label_scale: float = 1.0,
+    ):
+        self.context = context
+        self.task = "regression"
+        self.n_classes = 0
+        self.label_scale = label_scale
+        self.root_gammas = [gamma1, gamma2]
+        self.rides_with_alpha = True
+
+    @property
+    def n_vectors(self) -> int:
+        return 2
+
+    def gammas(self, alpha, node_gammas) -> list[list[EncryptedNumber]]:
+        """Return the node's [γ] vectors, maintained alongside [α]."""
+        if node_gammas is None:  # root node
+            return self.root_gammas
+        return node_gammas

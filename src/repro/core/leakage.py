@@ -1,0 +1,178 @@
+"""The privacy leakages of the released plaintext model (paper §5.1).
+
+Implements both attacks as executable adversaries and measures their yield,
+so the enhanced protocol's mitigation is demonstrable rather than asserted:
+
+* **Training-label leakage** (Example 1): colluding clients that own every
+  feature along a root-to-leaf path can reproduce the exact training-sample
+  set reaching that leaf and read its plaintext label off the model.  The
+  super client must NOT be in the collusion (they already know labels).
+* **Feature-value leakage** (Example 2): a collusion *including* the super
+  client that owns every feature along the path to a target client's node
+  knows the sample set D' at that node; if the node's children are leaves
+  with distinct labels, the labels classify D' and reveal which side of the
+  target's hidden threshold each sample falls on.
+
+Both attacks operate ONLY on information the adversary legitimately holds:
+the released model, the colluders' own feature columns, and (for the
+feature attack) the super client's labels.  Ground-truth labels/features of
+honest parties are used purely to *score* the attack.
+
+Against an enhanced-protocol model the split thresholds and leaf labels are
+hidden, the adversary cannot partition samples, and both attacks return
+zero coverage — the mitigation of §5.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.partition import VerticalPartition
+from repro.tree.model import DecisionTreeModel, TreeNode
+
+__all__ = [
+    "AttackResult",
+    "label_inference_attack",
+    "feature_inference_attack",
+]
+
+
+@dataclass(frozen=True)
+class AttackResult:
+    """Outcome of a §5.1 inference attack."""
+
+    n_targets: int  # private values the adversary attempted to infer
+    n_correct: int  # how many inferences match the ground truth
+    n_population: int  # total private values of that kind
+
+    @property
+    def coverage(self) -> float:
+        return self.n_targets / self.n_population if self.n_population else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        return self.n_correct / self.n_targets if self.n_targets else 0.0
+
+
+def _path_sample_sets(
+    model: DecisionTreeModel,
+    partition: VerticalPartition,
+    colluding: set[int],
+) -> list[tuple[TreeNode, np.ndarray, list[tuple[TreeNode, int]]]]:
+    """(leaf-or-node, boolean sample mask, path) for every *computable* path.
+
+    A path is computable iff every internal node on it is owned by a
+    colluding client and carries a plaintext threshold; the mask is built
+    only from colluders' own columns.
+    """
+    n = partition.n_samples
+    results = []
+
+    def visit(node: TreeNode, mask: np.ndarray, path) -> None:
+        results.append((node, mask, list(path)))
+        if node.is_leaf:
+            return
+        if node.owner not in colluding or node.threshold is None:
+            return  # this subtree's partitions are not computable
+        column = partition.local_features[node.owner][:, node.feature]
+        left = mask & (column <= node.threshold)
+        visit(node.left, left, path + [(node, 0)])
+        visit(node.right, mask & ~(column <= node.threshold), path + [(node, 1)])
+
+    visit(model.root, np.ones(n, dtype=bool), [])
+    return results
+
+
+def label_inference_attack(
+    model: DecisionTreeModel,
+    partition: VerticalPartition,
+    colluding: set[int],
+) -> AttackResult:
+    """Example 1: infer honest training labels from a released model."""
+    if partition.super_client in colluding:
+        raise ValueError(
+            "the label attack models a collusion WITHOUT the super client"
+        )
+    inferred: dict[int, int | float] = {}
+    for node, mask, path in _path_sample_sets(model, partition, colluding):
+        if not node.is_leaf or node.prediction is None:
+            continue
+        if not path:  # root-as-leaf reveals only the majority class
+            continue
+        for sample in np.nonzero(mask)[0]:
+            inferred.setdefault(int(sample), node.prediction)
+    labels = partition.labels
+    n_correct = sum(
+        1 for sample, guess in inferred.items() if guess == labels[sample]
+    )
+    return AttackResult(
+        n_targets=len(inferred), n_correct=n_correct, n_population=len(labels)
+    )
+
+
+def feature_inference_attack(
+    model: DecisionTreeModel,
+    partition: VerticalPartition,
+    colluding: set[int],
+    target_client: int,
+) -> AttackResult:
+    """Example 2: infer the side of a target's threshold per sample.
+
+    Scores each inference "sample s has feature j <= tau" against the
+    target's true column.  Population = n x (number of target-owned
+    internal nodes), the values this attack could at best recover.
+    """
+    if partition.super_client not in colluding:
+        raise ValueError(
+            "the feature attack models a collusion INCLUDING the super client"
+        )
+    if target_client in colluding:
+        raise ValueError("the target must be an honest client")
+    labels = partition.labels
+    n = partition.n_samples
+    target_nodes = [
+        node
+        for node in model.internal_nodes()
+        if node.owner == target_client
+    ]
+    n_targets = 0
+    n_correct = 0
+    for node, mask, path in _path_sample_sets(model, partition, colluding):
+        if node.is_leaf or node.owner != target_client:
+            continue
+        left, right = node.children()
+        if not (left.is_leaf and right.is_leaf):
+            continue
+        if left.prediction is None or right.prediction is None:
+            continue
+        if left.prediction == right.prediction:
+            continue  # labels don't separate the two sides
+        for sample in np.nonzero(mask)[0]:
+            label = labels[sample]
+            if label == left.prediction:
+                guessed_left = True
+            elif label == right.prediction:
+                guessed_left = False
+            else:
+                continue
+            n_targets += 1
+            if node.threshold is not None:
+                column = partition.local_features[target_client][:, node.feature]
+                truly_left = column[sample] <= node.threshold
+            else:
+                # Hidden threshold: the adversary still guesses, but we
+                # score against the *training partition* the node encoded,
+                # which is unknowable — count as wrong half the time is
+                # impossible to evaluate; the attack cannot even identify
+                # the threshold, so it yields nothing actionable.
+                n_targets -= 1
+                continue
+            if guessed_left == truly_left:
+                n_correct += 1
+    return AttackResult(
+        n_targets=n_targets,
+        n_correct=n_correct,
+        n_population=n * max(1, len(target_nodes)),
+    )

@@ -1,0 +1,164 @@
+"""Distributed model prediction (Algorithm 4 and §5.2).
+
+**Basic protocol** (plaintext tree, Algorithm 4): the clients update an
+encrypted prediction vector [η] of size t+1 in a round-robin manner; each
+client multiplies in, for every leaf, a 0/1 factor obtained by comparing
+her own feature values against the thresholds of the internal nodes she
+owns.  After all m updates exactly one [1] survives, and client u_1
+computes [k̄] = z ⊙ [η] with the public leaf-label vector z; the clients
+jointly decrypt [k̄].
+
+**Enhanced protocol** (§5.2 "Secret sharing based model prediction"): split
+thresholds and leaf labels exist only in secretly shared form; feature
+values are secret-shared by their owners, a marker is propagated from the
+root with one secure comparison per internal node, and the prediction is
+the inner product ⟨z⟩·⟨η⟩, revealed alone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.context import PivotContext
+from repro.crypto.encoding import EncryptedNumber, encrypted_dot_product
+from repro.mpc import comparison
+from repro.tree.model import DecisionTreeModel, TreeNode
+
+__all__ = [
+    "predict_basic",
+    "predict_basic_encrypted",
+    "predict_enhanced",
+    "predict_batch",
+]
+
+
+def _local_slices(context: PivotContext, row: np.ndarray) -> list[np.ndarray]:
+    """Distribute a global feature row to the clients' local views."""
+    return [
+        np.asarray([row[c] for c in cols], dtype=np.float64)
+        for cols in context.partition.columns_per_client
+    ]
+
+
+def predict_basic_encrypted(
+    model: DecisionTreeModel, context: PivotContext, row: np.ndarray
+) -> EncryptedNumber:
+    """Algorithm 4 up to (excluding) the final joint decryption.
+
+    Returns [k̄] — used directly by the ensembles, which aggregate encrypted
+    per-tree predictions before anything is revealed (§7).
+    """
+    ctx = context
+    slices = _local_slices(ctx, row)
+    leaves = model.leaves()
+    paths = model.leaf_paths()
+
+    # u_m initialises [η] = ([1], ..., [1]) (Algorithm 4 line 3).
+    eta = [ctx.encoder.encrypt(1) for _ in leaves]
+    for client_index in reversed(range(ctx.n_clients)):
+        local = slices[client_index]
+        for leaf_pos, path in enumerate(paths):
+            factor = 1
+            for node, direction in path:
+                if node.owner != client_index:
+                    continue
+                if node.threshold is None or node.feature is None:
+                    raise ValueError(
+                        "basic prediction needs a plaintext tree; use "
+                        "predict_enhanced for hidden models"
+                    )
+                goes_left = local[node.feature] <= node.threshold
+                matches = (direction == 0) == goes_left
+                factor &= int(matches)
+            # Possible paths keep their value (x1); impossible ones are
+            # zeroed (x0).  Both are homomorphic multiplications (§4.3).
+            eta[leaf_pos] = eta[leaf_pos] * factor
+        if client_index > 0:
+            ctx.bus.send(
+                client_index,
+                client_index - 1,
+                ctx.ciphertext_bytes * len(eta),
+                tag="prediction-vector",
+            )
+            ctx.bus.round()
+
+    # u_1: [k̄] = z ⊙ [η] (line 10).
+    if model.task == "classification":
+        coefficients = [int(leaf.prediction) for leaf in leaves]
+        exponent = 0
+    else:
+        encoded = [ctx.encoder.encode(float(leaf.prediction)) for leaf in leaves]
+        coefficients = [e.encoding for e in encoded]
+        exponent = -ctx.encoder.frac_bits
+    result = encrypted_dot_product(coefficients, eta)
+    return ctx.encoder.wrap(result.ciphertext, exponent)
+
+
+def predict_basic(
+    model: DecisionTreeModel, context: PivotContext, row: np.ndarray
+) -> float | int:
+    """Full Algorithm 4: encrypted round-robin + joint decryption."""
+    encrypted = predict_basic_encrypted(model, context, row)
+    value = context.joint_decrypt(encrypted, tag="prediction-output")
+    if model.task == "classification":
+        return int(round(value))
+    return float(value)
+
+
+def predict_enhanced(
+    model: DecisionTreeModel, context: PivotContext, row: np.ndarray
+) -> float | int:
+    """§5.2 prediction over the secretly shared model."""
+    ctx, fx = context, context.fx
+    engine = ctx.engine
+    slices = _local_slices(ctx, row)
+
+    # Owners secret-share the feature value at every internal node.
+    markers: dict[int, object] = {}
+
+    def walk(node: TreeNode, marker) -> list:
+        if node.is_leaf:
+            return [(node, marker)]
+        threshold_share = node.hidden.get("threshold_share")
+        if threshold_share is None:
+            raise ValueError("node lacks a shared threshold; not an enhanced model")
+        value = float(slices[node.owner][node.feature])
+        x_share = engine.input_private(fx.encode(value), owner=node.owner)
+        goes_left = comparison.le(engine, x_share, threshold_share, fx.k)
+        left_marker = engine.mul(marker, goes_left)
+        right_marker = marker - left_marker
+        return walk(node.left, left_marker) + walk(node.right, right_marker)
+
+    leaf_markers = walk(model.root, engine.share_public(1))
+    # η in canonical leaf order; z from the hidden leaf labels.
+    eta, z_shares, scales = [], [], []
+    for node, marker in leaf_markers:
+        label_share = node.hidden.get("label_share")
+        if label_share is None:
+            raise ValueError("leaf lacks a shared label; not an enhanced model")
+        eta.append(marker)
+        z_shares.append(label_share)
+        scales.append(node.hidden.get("label_scale", 1.0))
+    prediction_share = engine.inner_product(eta, z_shares)
+    value = ctx.open_value(prediction_share, tag="prediction-output")
+    if model.task == "classification":
+        return int(round(value))
+    return float(value * scales[0])
+
+
+def predict_batch(
+    model: DecisionTreeModel,
+    context: PivotContext,
+    rows: np.ndarray,
+    protocol: str = "basic",
+) -> np.ndarray:
+    """Predict many samples with the chosen protocol."""
+    if protocol == "basic":
+        out = [predict_basic(model, context, row) for row in np.asarray(rows)]
+    elif protocol == "enhanced":
+        out = [predict_enhanced(model, context, row) for row in np.asarray(rows)]
+    else:
+        raise ValueError(f"unknown protocol {protocol!r}")
+    if model.task == "classification":
+        return np.asarray(out, dtype=np.int64)
+    return np.asarray(out, dtype=np.float64)

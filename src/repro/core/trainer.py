@@ -1,0 +1,485 @@
+"""Pivot decision-tree training: basic and enhanced protocols (§4, §5).
+
+Implements Algorithm 3 with the three steps of §4.1 per tree node:
+
+1. **Local computation** — the super client broadcasts the encrypted label
+   vectors [γ] (via the label provider); every client computes encrypted
+   split statistics for her local splits with homomorphic dot products
+   (Eq. 7 / Eq. 9).
+2. **MPC computation** — the encrypted statistics are converted to secret
+   shares (Algorithm 2); impurity gains are evaluated with secure division
+   and multiplication (Eq. 5/6/8); the best split is found with the secure
+   maximum, yielding the secretly shared identifier (⟨i*⟩, ⟨j*⟩, ⟨s*⟩).
+3. **Model update** — *basic protocol*: the identifier is reconstructed and
+   client i* broadcasts the encrypted child mask vectors [α_l], [α_r].
+   *Enhanced protocol* (§5.2): only (i*, j*) is revealed; ⟨s*⟩ is turned
+   into the encrypted selection vector [λ], client i* runs private split
+   selection (Theorem 2) and the encrypted mask update of Eq. (10); the
+   split threshold and leaf labels stay hidden (shared + encrypted forms
+   are attached to the node's ``hidden`` payload).
+
+Pruning conditions (§2.3, Algorithm 3 lines 1-3) are evaluated securely:
+maximum depth is public, the sample-count and purity checks open a single
+bit each, and the "no split with positive gain" check compares the shared
+maximum gain against the shared threshold.
+
+With a :class:`~repro.core.config.DPConfig`, training follows §9.2: noisy
+pruning counts (secure Laplace, Algorithm 5), exponential-mechanism split
+selection (Algorithm 6) and noisy leaf statistics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import PivotConfig
+from repro.core.context import PivotContext
+from repro.core.gain import NodeStats, SplitStats, secure_split_gains
+from repro.core.labels import EncryptedLabelProvider, PlaintextLabelProvider
+from repro.crypto.encoding import EncryptedNumber, encrypted_dot_product
+from repro.mpc.sharing import SharedValue
+from repro.tree.model import DecisionTreeModel, TreeNode
+
+__all__ = ["PivotDecisionTree", "SECURE_GAIN_EPS"]
+
+#: Fixed-point slack added to the leaf threshold: a node becomes a leaf iff
+#: max gain <= min_gain + eps.  Protocol-equivalence with plaintext CART
+#: holds whenever no split's true gain lies within eps of min_gain.
+SECURE_GAIN_EPS = 2.0**-9
+
+
+class PivotDecisionTree:
+    """One privacy-preserving CART training run over a PivotContext."""
+
+    def __init__(
+        self,
+        context: PivotContext,
+        label_provider: PlaintextLabelProvider | EncryptedLabelProvider | None = None,
+    ):
+        self.ctx = context
+        self.cfg: PivotConfig = context.config
+        self.fx = context.fx
+        self.engine = context.engine
+        if label_provider is None:
+            label_provider = PlaintextLabelProvider(
+                context, context.partition.labels, context.partition.task
+            )
+        self.provider = label_provider
+        self.task = label_provider.task
+        self.enhanced = self.cfg.protocol == "enhanced"
+        self._dp = None
+        if self.cfg.dp is not None:
+            from repro.core.dp import DPMechanisms
+
+            self._dp = DPMechanisms(self.fx, self.cfg.dp)
+        self.model: DecisionTreeModel | None = None
+
+    # ------------------------------------------------------------------
+
+    def fit(self, initial_mask: np.ndarray | None = None) -> DecisionTreeModel:
+        """Train one tree; ``initial_mask`` supports RF bagging (§7.1)."""
+        ctx = self.ctx
+        if initial_mask is None:
+            bits = np.ones(ctx.n_samples, dtype=np.int64)
+        else:
+            bits = np.asarray(initial_mask).astype(np.int64)
+            if bits.shape[0] != ctx.n_samples:
+                raise ValueError("initial mask length mismatch")
+        alpha = ctx.encrypt_indicator(bits)
+        ctx.bus.broadcast(
+            ctx.super_client, ctx.ciphertext_bytes * len(alpha), tag="mask-vector"
+        )
+        available = [list(range(c.n_features)) for c in ctx.clients]
+        root = self._build(alpha, None, available, depth=0)
+        n_classes = self.provider.n_classes if self.task == "classification" else 0
+        self.model = DecisionTreeModel(root, self.task, n_classes)
+        return self.model
+
+    # ------------------------------------------------------------------
+    # recursive node construction
+    # ------------------------------------------------------------------
+
+    def _build(
+        self,
+        alpha: list[EncryptedNumber],
+        node_gammas: list[list[EncryptedNumber]] | None,
+        available: list[list[int]],
+        depth: int,
+    ) -> TreeNode:
+        ctx, fx = self.ctx, self.fx
+        gammas = self.provider.gammas(alpha, node_gammas)
+
+        # Node-level encrypted statistics: n on this node + per-vector sums.
+        count_ct = _homomorphic_sum(alpha)
+        total_cts = [_homomorphic_sum(g) for g in gammas]
+        shares = ctx.to_shares([count_ct] + total_cts)
+        n_node, totals = shares[0], shares[1:]
+        node_stats = NodeStats(n_node, totals)
+
+        # -- pruning conditions (Algorithm 3, lines 1-3) --------------------
+        if depth >= self.cfg.tree.max_depth:
+            return self._make_leaf(node_stats, depth)
+        if not any(available[c.index] for c in ctx.clients):
+            return self._make_leaf(node_stats, depth)
+        check_n = n_node
+        if self._dp is not None:
+            check_n = check_n + self._dp.laplace_noise(sensitivity=1.0)
+        too_small = ctx.open_bit(
+            fx.lt(check_n, fx.share(self.cfg.tree.min_samples_split)),
+            tag=f"prune-count-d{depth}",
+        )
+        if too_small:
+            return self._make_leaf(node_stats, depth)
+        if self.task == "classification":
+            _, g_max, _ = fx.argmax(totals)
+            pure = ctx.open_bit(
+                fx.eqz(n_node - g_max), tag=f"prune-pure-d{depth}"
+            )
+            if pure:
+                return self._make_leaf(node_stats, depth)
+
+        # -- local computation: encrypted split statistics (Eq. 7 / 9) -------
+        identifiers = ctx.split_identifiers(available)
+        if not identifiers:
+            return self._make_leaf(node_stats, depth)
+        stat_cts = self._compute_split_stats(identifiers, alpha, gammas)
+
+        # -- MPC computation: convert + secure gains + secure max -----------
+        stat_shares = ctx.to_shares(stat_cts)
+        splits = []
+        stride = 2 + 2 * len(gammas)
+        for index in range(len(identifiers)):
+            base = index * stride
+            left = [stat_shares[base + 2 + 2 * v] for v in range(len(gammas))]
+            right = [stat_shares[base + 3 + 2 * v] for v in range(len(gammas))]
+            splits.append(
+                SplitStats(
+                    n_left=stat_shares[base],
+                    n_right=stat_shares[base + 1],
+                    left=left,
+                    right=right,
+                )
+            )
+        if self.cfg.tree.min_samples_leaf > 1:
+            self._mask_invalid_splits(splits)
+        gains, leaf_threshold = secure_split_gains(
+            fx, self.task, node_stats, splits, self.cfg.gain_mode, self.cfg.tree.min_gain
+        )
+
+        if self._dp is not None:
+            best_index, onehot = self._dp.exponential_mechanism(gains)
+        else:
+            best_index, best_gain, onehot = fx.argmax(gains)
+            threshold = leaf_threshold + fx.share(SECURE_GAIN_EPS)
+            no_gain = ctx.open_bit(
+                self.engine.add_public(
+                    -fx.gt(best_gain, threshold), 1
+                ),
+                tag=f"prune-gain-d{depth}",
+            )
+            if no_gain:
+                return self._make_leaf(node_stats, depth)
+
+        # -- model update ----------------------------------------------------
+        if self.enhanced:
+            return self._split_enhanced(
+                alpha, gammas, available, depth, identifiers, best_index, onehot,
+                node_stats,
+            )
+        return self._split_basic(
+            alpha, gammas, available, depth, identifiers, best_index, node_stats
+        )
+
+    def _compute_split_stats(
+        self,
+        identifiers: list[tuple[int, int, int]],
+        alpha: list[EncryptedNumber],
+        gammas: list[list[EncryptedNumber]],
+    ) -> list[EncryptedNumber]:
+        """Each client's local homomorphic dot products (Eq. 7 / Eq. 9).
+
+        The malicious-model extension overrides this to attach and verify
+        POHDP proofs (§9.1.2).
+        """
+        ctx = self.ctx
+        stat_cts: list[EncryptedNumber] = []
+        for client_idx, feature, split in identifiers:
+            client = ctx.clients[client_idx]
+            v_left = client.indicator(feature, split)
+            v_right = 1 - v_left
+            stat_cts.append(encrypted_dot_product(list(v_left), alpha))
+            stat_cts.append(encrypted_dot_product(list(v_right), alpha))
+            for gamma in gammas:
+                stat_cts.append(encrypted_dot_product(list(v_left), gamma))
+                stat_cts.append(encrypted_dot_product(list(v_right), gamma))
+            ctx.bus.broadcast(
+                client_idx,
+                ctx.ciphertext_bytes * (2 + 2 * len(gammas)),
+                tag="split-stats",
+            )
+        ctx.bus.round()
+        return stat_cts
+
+    # ------------------------------------------------------------------
+    # model update: basic protocol (§4.1 "Model update")
+    # ------------------------------------------------------------------
+
+    def _split_basic(
+        self,
+        alpha: list[EncryptedNumber],
+        gammas: list[list[EncryptedNumber]],
+        available: list[list[int]],
+        depth: int,
+        identifiers: list[tuple[int, int, int]],
+        best_index: SharedValue,
+        node_stats: NodeStats,
+    ) -> TreeNode:
+        ctx = self.ctx
+        flat = int(ctx.engine.open(best_index))
+        owner_idx, feature, split = identifiers[flat]
+        ctx.revealed.append((f"best-split-d{depth}", (owner_idx, feature, split)))
+        owner = ctx.clients[owner_idx]
+        threshold = owner.split_values[feature][split]
+        v_left = owner.indicator(feature, split)
+
+        alpha_left = _mask_by_plaintext(alpha, v_left)
+        alpha_right = _mask_by_plaintext(alpha, 1 - v_left)
+        ctx.bus.broadcast(
+            owner_idx, 2 * ctx.ciphertext_bytes * len(alpha), tag="mask-vector"
+        )
+        ctx.bus.round()
+        gam_left = gam_right = None
+        if self.provider.rides_with_alpha:
+            gam_left = [_mask_by_plaintext(g, v_left) for g in gammas]
+            gam_right = [_mask_by_plaintext(g, 1 - v_left) for g in gammas]
+
+        node = TreeNode(
+            is_leaf=False,
+            depth=depth,
+            n_samples=None,
+            owner=owner_idx,
+            feature=feature,
+            global_feature=ctx.partition.global_feature_of(owner_idx, feature),
+            threshold=threshold,
+        )
+        child_available = _child_available(
+            available, owner_idx, feature, self.cfg.tree.remove_used_feature
+        )
+        node.left = self._build(
+            alpha_left, gam_left, child_available, depth + 1
+        )
+        node.right = self._build(
+            alpha_right, gam_right, child_available, depth + 1
+        )
+        return node
+
+    # ------------------------------------------------------------------
+    # model update: enhanced protocol (§5.2)
+    # ------------------------------------------------------------------
+
+    def _split_enhanced(
+        self,
+        alpha: list[EncryptedNumber],
+        gammas: list[list[EncryptedNumber]],
+        available: list[list[int]],
+        depth: int,
+        identifiers: list[tuple[int, int, int]],
+        best_index: SharedValue,
+        onehot: list[SharedValue],
+        node_stats: NodeStats,
+    ) -> TreeNode:
+        ctx, fx = self.ctx, self.fx
+        # Reveal only (i*, j*): per-feature sums of the one-hot vector open
+        # to a single 1 at the winning feature; s* stays hidden.
+        feature_groups: dict[tuple[int, int], list[int]] = {}
+        for index, (ci, fj, _s) in enumerate(identifiers):
+            feature_groups.setdefault((ci, fj), []).append(index)
+        keys = list(feature_groups)
+        sums = [
+            ctx.engine.sum_values([onehot[i] for i in feature_groups[key]])
+            for key in keys
+        ]
+        opened = ctx.engine.open_many(sums)
+        winners = [key for key, bit in zip(keys, opened) if bit == 1]
+        if len(winners) != 1:
+            raise RuntimeError("one-hot feature reveal is inconsistent")
+        owner_idx, feature = winners[0]
+        ctx.revealed.append((f"best-feature-d{depth}", (owner_idx, feature)))
+        owner = ctx.clients[owner_idx]
+        lam_shares = [onehot[i] for i in feature_groups[(owner_idx, feature)]]
+
+        # Encrypted selection vector [λ] (conversion of §5.2); λ is a raw
+        # 0/1 vector, so it is encrypted at exponent 0.
+        lam_cipher = [ctx.to_cipher(lam, exponent=0) for lam in lam_shares]
+
+        # Private split selection (Theorem 2): [v] = V (x) [λ].
+        matrix = owner.indicator_matrix(feature)  # n x n'
+        v_left_enc = [
+            encrypted_dot_product(list(row.astype(np.int64)), lam_cipher)
+            for row in matrix
+        ]
+        v_right_enc = [(-v) + 1 for v in v_left_enc]
+        ctx.bus.round()
+
+        # Encrypted (and shared) split threshold.
+        encoded_vals = [
+            ctx.encoder.encode(float(t)).encoding
+            for t in owner.split_values[feature]
+        ]
+        threshold_cipher = encrypted_dot_product(encoded_vals, lam_cipher)
+        threshold_share = ctx.engine.sum_values(
+            [lam * enc for lam, enc in zip(lam_shares, encoded_vals)]
+        )
+
+        # Encrypted mask-vector update (Eq. 10) for both children.
+        alpha_left = self._masked_elementwise_product(alpha, v_left_enc)
+        alpha_right = self._masked_elementwise_product(alpha, v_right_enc)
+        gam_left = gam_right = None
+        if self.provider.rides_with_alpha:
+            gam_left = [
+                self._masked_elementwise_product(g, v_left_enc) for g in gammas
+            ]
+            gam_right = [
+                self._masked_elementwise_product(g, v_right_enc) for g in gammas
+            ]
+
+        node = TreeNode(
+            is_leaf=False,
+            depth=depth,
+            n_samples=None,
+            owner=owner_idx,
+            feature=feature,
+            global_feature=ctx.partition.global_feature_of(owner_idx, feature),
+            threshold=None,  # hidden (§5.2)
+        )
+        node.hidden["threshold_share"] = threshold_share
+        node.hidden["threshold_cipher"] = threshold_cipher
+        child_available = _child_available(
+            available, owner_idx, feature, self.cfg.tree.remove_used_feature
+        )
+        node.left = self._build(alpha_left, gam_left, child_available, depth + 1)
+        node.right = self._build(alpha_right, gam_right, child_available, depth + 1)
+        return node
+
+    def _masked_elementwise_product(
+        self,
+        alpha: list[EncryptedNumber],
+        v_enc: list[EncryptedNumber],
+    ) -> list[EncryptedNumber]:
+        """Eq. (10): [α'_j] = [α_j · v_j] via MPC conversion.
+
+        Each [α_j] is converted with Algorithm 2 kept over the integers
+        (client 1 holds e - r_1, the others -r_i); every client multiplies
+        her integer share into [v_j] homomorphically and the owner sums the
+        results.  One threshold decryption per element — the O(n)·Cd term
+        that dominates the enhanced protocol's cost (§6, §8.3.1).
+        """
+        import secrets
+
+        ctx, fx = self.ctx, self.fx
+        pk = ctx.threshold.public_key
+        m = ctx.n_clients
+        result = []
+        for a_ct, v_ct in zip(alpha, v_enc):
+            masks = [secrets.randbits(fx.k + ctx.engine.kappa) for _ in range(m)]
+            masked = a_ct.ciphertext
+            for r in masks:
+                masked = masked + pk.encrypt(r)
+            e = ctx.threshold.joint_decrypt(masked)
+            ctx.conversions.threshold_decryptions += 1
+            int_shares = [e - masks[0]] + [-r for r in masks[1:]]
+            combined = None
+            for share in int_shares:
+                term = v_ct.ciphertext * share
+                combined = term if combined is None else combined + term
+            result.append(ctx.encoder.wrap(combined, a_ct.exponent + v_ct.exponent))
+        ctx.bus.broadcast(0, ctx.ciphertext_bytes * len(alpha) * m, tag="eq10")
+        ctx.bus.round(2)
+        return result
+
+    # ------------------------------------------------------------------
+    # leaves
+    # ------------------------------------------------------------------
+
+    def _make_leaf(self, node_stats: NodeStats, depth: int) -> TreeNode:
+        ctx, fx = self.ctx, self.fx
+        leaf = TreeNode(is_leaf=True, depth=depth, n_samples=None)
+        if self.task == "classification":
+            totals = node_stats.totals
+            if self._dp is not None:
+                totals = [
+                    t + self._dp.laplace_noise(sensitivity=1.0) for t in totals
+                ]
+            index, _, _ = fx.argmax(totals)
+            label_share = index * (1 << fx.f)
+            if self.enhanced:
+                leaf.prediction = None
+                leaf.hidden["label_share"] = label_share
+                leaf.hidden["label_cipher"] = ctx.to_cipher(label_share)
+            else:
+                leaf.prediction = int(ctx.engine.open(index))
+                ctx.revealed.append((f"leaf-label-d{depth}", leaf.prediction))
+        else:
+            sum_y = node_stats.totals[0]
+            count = node_stats.n
+            if self._dp is not None:
+                sum_y = sum_y + self._dp.laplace_noise(sensitivity=1.0)
+                count = count + self._dp.laplace_noise(sensitivity=1.0)
+            mean_share = fx.div(sum_y, count)
+            if self.enhanced:
+                leaf.prediction = None
+                leaf.hidden["label_share"] = mean_share
+                leaf.hidden["label_cipher"] = ctx.to_cipher(mean_share)
+                leaf.hidden["label_scale"] = self.provider.label_scale
+            else:
+                mean = ctx.open_value(mean_share, tag=f"leaf-label-d{depth}")
+                leaf.prediction = mean * self.provider.label_scale
+        return leaf
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _mask_invalid_splits(self, splits: list[SplitStats]) -> None:
+        """Force gains of splits violating min_samples_leaf to lose."""
+        fx = self.fx
+        minimum = fx.share(self.cfg.tree.min_samples_leaf)
+        for split in splits:
+            ok_left = 1 - fx.lt(split.n_left, minimum)
+            ok_right = 1 - fx.lt(split.n_right, minimum)
+            valid = self.engine.mul(ok_left, ok_right)
+            # Zero out the child statistics of invalid splits: the gain
+            # formulas then evaluate to the parent score (gain 0).
+            pairs = []
+            for value in [split.n_left, split.n_right, *split.left, *split.right]:
+                pairs.append((value, valid))
+            masked = self.engine.mul_many(pairs)
+            split.n_left, split.n_right = masked[0], masked[1]
+            count = len(split.left)
+            split.left = masked[2 : 2 + count]
+            split.right = masked[2 + count :]
+
+
+def _homomorphic_sum(values: list[EncryptedNumber]) -> EncryptedNumber:
+    total = values[0]
+    for v in values[1:]:
+        total = total + v
+    return total
+
+
+def _mask_by_plaintext(
+    values: list[EncryptedNumber], bits: np.ndarray
+) -> list[EncryptedNumber]:
+    """Element-wise homomorphic multiplication by a plaintext 0/1 vector,
+    re-randomised before broadcast (§4.1 model update)."""
+    return [(v * int(b)).obfuscate() for v, b in zip(values, bits)]
+
+
+def _child_available(
+    available: list[list[int]], owner: int, feature: int, remove: bool
+) -> list[list[int]]:
+    if not remove:
+        return available
+    child = [list(f) for f in available]
+    child[owner] = [f for f in child[owner] if f != feature]
+    return child

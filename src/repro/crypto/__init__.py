@@ -1,0 +1,30 @@
+"""Cryptographic substrate: Paillier, threshold Paillier, fixed-point
+encoding, and the Σ-protocol zero-knowledge proofs (paper §2.1, §9.1.1)."""
+
+from repro.crypto.encoding import EncodedNumber, EncryptedNumber, PaillierEncoder
+from repro.crypto.paillier import (
+    Ciphertext,
+    PaillierPrivateKey,
+    PaillierPublicKey,
+    generate_keypair,
+)
+from repro.crypto.threshold import (
+    ThresholdKeyShare,
+    ThresholdPaillier,
+    combine_partial_decryptions,
+    generate_threshold_keypair,
+)
+
+__all__ = [
+    "Ciphertext",
+    "EncodedNumber",
+    "EncryptedNumber",
+    "PaillierEncoder",
+    "PaillierPrivateKey",
+    "PaillierPublicKey",
+    "ThresholdKeyShare",
+    "ThresholdPaillier",
+    "combine_partial_decryptions",
+    "generate_keypair",
+    "generate_threshold_keypair",
+]

@@ -1,0 +1,260 @@
+"""The Paillier partially homomorphic cryptosystem (paper §2.1).
+
+Implements the three algorithms (Gen, Enc, Dec) of the Paillier scheme
+[Paillier, EUROCRYPT'99] with the standard g = n + 1 simplification
+[Damgard-Jurik, PKC'01], plus the three homomorphic properties the paper
+uses:
+
+* homomorphic addition        (Eq. 1):  [x1] (+) [x2]  = [x1 + x2]
+* homomorphic multiplication  (Eq. 2):  x1  (*) [x2]   = [x1 * x2]
+* homomorphic dot product     (Eq. 3):  x  (.) [v]     = [x . v]
+
+Plaintexts live in Z_n.  Signed values are represented in the upper half
+of Z_n (two's-complement style); :mod:`repro.crypto.encoding` builds the
+fixed-point layer on top.
+
+The implementation intentionally mirrors a production Paillier library
+(e.g. python-phe / libhcs used by the paper): ciphertexts are objects
+carrying their public key, operations check key compatibility, and
+encryption is probabilistic with an explicit obfuscation step so that
+deterministic "raw" encryptions (used internally for efficiency) can be
+re-randomised before leaving a party.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+
+from repro.analysis import opcount
+from repro.crypto import primes
+
+__all__ = [
+    "PaillierPublicKey",
+    "PaillierPrivateKey",
+    "Ciphertext",
+    "generate_keypair",
+]
+
+
+class PaillierPublicKey:
+    """Public key: modulus n, generator g = n + 1."""
+
+    def __init__(self, n: int):
+        self.n = n
+        self.n_squared = n * n
+        self.g = n + 1
+        # Values with |x| <= max_int are considered "signed" plaintexts.
+        self.max_int = n // 3
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PaillierPublicKey) and self.n == other.n
+
+    def __hash__(self) -> int:
+        return hash(("PaillierPublicKey", self.n))
+
+    def __repr__(self) -> str:
+        return f"PaillierPublicKey(n~2^{self.n.bit_length()})"
+
+    # -- encryption ------------------------------------------------------
+
+    def raw_encrypt(self, plaintext: int) -> int:
+        """Deterministic encryption of ``plaintext`` (no random mask).
+
+        (n+1)^m = 1 + n*m (mod n^2), so raw encryption is a single mulmod.
+        The result MUST be obfuscated (multiplied by r^n) before being
+        revealed to any other party.
+        """
+        m = plaintext % self.n
+        return (1 + self.n * m) % self.n_squared
+
+    def random_obfuscator(self) -> int:
+        """Return r^n mod n^2 for a uniformly random r in Z_n^*."""
+        while True:
+            r = secrets.randbelow(self.n - 1) + 1
+            # gcd(r, n) != 1 happens with negligible probability (it would
+            # factor n); retrying keeps the distribution uniform on Z_n^*.
+            if _gcd(r, self.n) == 1:
+                return pow(r, self.n, self.n_squared)
+
+    def encrypt(self, plaintext: int, obfuscate: bool = True) -> "Ciphertext":
+        """Encrypt a (signed) integer plaintext."""
+        opcount.GLOBAL.ce += 1
+        raw = self.raw_encrypt(plaintext)
+        if obfuscate:
+            raw = (raw * self.random_obfuscator()) % self.n_squared
+        return Ciphertext(self, raw)
+
+    def encrypt_with_r(self, plaintext: int, r: int) -> "Ciphertext":
+        """Encrypt with caller-chosen randomness (needed by the ZKPs)."""
+        raw = self.raw_encrypt(plaintext)
+        raw = (raw * pow(r, self.n, self.n_squared)) % self.n_squared
+        return Ciphertext(self, raw)
+
+    # -- signed representative ------------------------------------------
+
+    def to_signed(self, m: int) -> int:
+        """Map a Z_n representative to a signed integer."""
+        if m > self.n - self.max_int:
+            return m - self.n
+        if m > self.max_int:
+            raise OverflowError(
+                "decrypted plaintext outside the signed range; fixed-point "
+                "overflow or wrong key"
+            )
+        return m
+
+
+@dataclass(frozen=True)
+class PaillierPrivateKey:
+    """Non-threshold private key (lambda, mu); used by tests and the dealer."""
+
+    public_key: PaillierPublicKey
+    lam: int  # lambda(n) = lcm(p-1, q-1)
+    mu: int  # (L(g^lambda mod n^2))^-1 mod n
+
+    def raw_decrypt(self, raw_ciphertext: int) -> int:
+        pk = self.public_key
+        u = pow(raw_ciphertext, self.lam, pk.n_squared)
+        l_of_u = (u - 1) // pk.n
+        return (l_of_u * self.mu) % pk.n
+
+    def decrypt(self, ciphertext: "Ciphertext") -> int:
+        if ciphertext.public_key != self.public_key:
+            raise ValueError("ciphertext was encrypted under a different key")
+        return self.public_key.to_signed(self.raw_decrypt(ciphertext.raw))
+
+
+class Ciphertext:
+    """A Paillier ciphertext [x] supporting the homomorphic operators.
+
+    Supported operations (c, d ciphertexts; k a plain integer):
+
+    * ``c + d``  -> [x + y]        (Eq. 1)
+    * ``c + k``  -> [x + k]
+    * ``c - d``, ``c - k``, ``-c``
+    * ``k * c``, ``c * k``  -> [k x]   (Eq. 2)
+
+    Dot products (Eq. 3) are provided by :func:`dot_product` which skips
+    zero coefficients and turns +-1 coefficients into multiplications
+    rather than exponentiations — the dominant case in Pivot, where the
+    plaintext vectors are 0/1 indicator vectors.
+    """
+
+    __slots__ = ("public_key", "raw")
+
+    def __init__(self, public_key: PaillierPublicKey, raw: int):
+        self.public_key = public_key
+        self.raw = raw
+
+    # -- helpers ---------------------------------------------------------
+
+    def _check_key(self, other: "Ciphertext") -> None:
+        if self.public_key != other.public_key:
+            raise ValueError("ciphertexts under different public keys")
+
+    def obfuscate(self) -> "Ciphertext":
+        """Re-randomise so the ciphertext is unlinkable to its history."""
+        pk = self.public_key
+        return Ciphertext(pk, (self.raw * pk.random_obfuscator()) % pk.n_squared)
+
+    # -- homomorphic operators -------------------------------------------
+
+    def __add__(self, other: "Ciphertext | int") -> "Ciphertext":
+        opcount.GLOBAL.ce += 1
+        pk = self.public_key
+        if isinstance(other, Ciphertext):
+            self._check_key(other)
+            return Ciphertext(pk, (self.raw * other.raw) % pk.n_squared)
+        return Ciphertext(pk, (self.raw * pk.raw_encrypt(other)) % pk.n_squared)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Ciphertext":
+        pk = self.public_key
+        return Ciphertext(pk, pow(self.raw, pk.n - 1, pk.n_squared))
+
+    def __sub__(self, other: "Ciphertext | int") -> "Ciphertext":
+        if isinstance(other, Ciphertext):
+            return self + (-other)
+        return self + (-other)
+
+    def __rsub__(self, other: int) -> "Ciphertext":
+        return (-self) + other
+
+    def __mul__(self, scalar: int) -> "Ciphertext":
+        if not isinstance(scalar, int):
+            return NotImplemented
+        opcount.GLOBAL.ce += 1
+        pk = self.public_key
+        exponent = scalar % pk.n
+        if exponent == 0:
+            return Ciphertext(pk, 1)
+        if exponent == 1:
+            return Ciphertext(pk, self.raw)
+        if exponent == pk.n - 1:  # scalar == -1: modular inverse is cheaper
+            return -self
+        return Ciphertext(pk, pow(self.raw, exponent, pk.n_squared))
+
+    __rmul__ = __mul__
+
+    def __repr__(self) -> str:
+        return f"Ciphertext({hex(self.raw)[:12]}...)"
+
+
+def dot_product(coefficients: list[int], ciphertexts: list[Ciphertext]) -> Ciphertext:
+    """Homomorphic dot product x (.) [v] = [x . v] (paper Eq. 3).
+
+    ``coefficients`` are plaintext integers, ``ciphertexts`` the encrypted
+    vector.  Zero coefficients are skipped and unit coefficients use a
+    single modular multiplication; this matches Pivot's dominant workload
+    (0/1 indicator vectors) without changing the result.
+    """
+    if len(coefficients) != len(ciphertexts):
+        raise ValueError(
+            f"length mismatch: {len(coefficients)} coefficients vs "
+            f"{len(ciphertexts)} ciphertexts"
+        )
+    if not ciphertexts:
+        raise ValueError("dot product of empty vectors")
+    opcount.GLOBAL.ce += len(ciphertexts)
+    pk = ciphertexts[0].public_key
+    acc = 1
+    n_squared = pk.n_squared
+    for x, c in zip(coefficients, ciphertexts):
+        x = int(x) % pk.n  # int() guards against numpy scalar overflow
+        if x == 0:
+            continue
+        if x == 1:
+            acc = (acc * c.raw) % n_squared
+        else:
+            acc = (acc * pow(c.raw, x, n_squared)) % n_squared
+    return Ciphertext(pk, acc)
+
+
+def _gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return a
+
+
+def _lcm(a: int, b: int) -> int:
+    return a // _gcd(a, b) * b
+
+
+def generate_keypair(
+    keysize: int = 1024, p: int | None = None, q: int | None = None
+) -> tuple[PaillierPublicKey, PaillierPrivateKey]:
+    """(sk, pk) = Gen(keysize): generate a Paillier key pair.
+
+    ``p`` and ``q`` may be supplied for deterministic tests.
+    """
+    if p is None or q is None:
+        p, q = primes.random_prime_pair(keysize)
+    n = p * q
+    public_key = PaillierPublicKey(n)
+    lam = _lcm(p - 1, q - 1)
+    # mu = L(g^lambda mod n^2)^-1 mod n; with g = n+1, g^lambda = 1 + n*lambda,
+    # so L(g^lambda) = lambda and mu = lambda^-1 mod n.
+    mu = pow(lam, -1, n)
+    return public_key, PaillierPrivateKey(public_key, lam, mu)

@@ -1,0 +1,170 @@
+"""Threshold Paillier (TPHE) with a full threshold structure (paper §2.1).
+
+The paper requires a *full* threshold structure: the public key pk is known
+to everyone, each client u_i holds a partial secret key sk_i, and decrypting
+any ciphertext requires all m clients to participate.
+
+Construction (standard additive-sharing threshold Paillier, as implemented
+by libhcs which the paper uses):
+
+* Key generation chooses d with  d = 0 (mod lambda(n))  and  d = 1 (mod n)
+  (CRT), and splits d additively modulo n * lambda(n) into m shares d_i.
+* Partial decryption of a ciphertext c is  c_i = c^{d_i} mod n^2.
+* Combination multiplies the m partial decryptions:
+      prod_i c_i = c^{sum d_i} = c^d = 1 + m_plain * n (mod n^2),
+  because c^{n * lambda(n)} = 1 for every c in Z*_{n^2}, so the additive
+  masking modulo n*lambda(n) cancels.  The plaintext is recovered with the
+  L-function L(x) = (x - 1) / n.
+
+Key generation is dealer-based (see DESIGN.md §4.6): the paper assumes the
+m clients "jointly generate the keys" without giving a protocol, and its
+implementation (libhcs) likewise uses centralized share generation.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+
+from repro.analysis import opcount
+from repro.crypto import primes
+from repro.crypto.paillier import (
+    Ciphertext,
+    PaillierPrivateKey,
+    PaillierPublicKey,
+    _lcm,
+)
+
+__all__ = [
+    "PartialDecryption",
+    "ThresholdKeyShare",
+    "ThresholdPaillier",
+    "generate_threshold_keypair",
+]
+
+
+@dataclass(frozen=True)
+class PartialDecryption:
+    """One client's decryption share c^{d_i} mod n^2."""
+
+    party_index: int
+    value: int
+
+
+@dataclass(frozen=True)
+class ThresholdKeyShare:
+    """Partial secret key sk_i = (i, d_i) held by client u_i."""
+
+    public_key: PaillierPublicKey
+    party_index: int
+    d_share: int
+
+    def partial_decrypt(self, ciphertext: Ciphertext) -> PartialDecryption:
+        if ciphertext.public_key != self.public_key:
+            raise ValueError("ciphertext under a different public key")
+        pk = self.public_key
+        return PartialDecryption(
+            self.party_index, pow(ciphertext.raw, self.d_share, pk.n_squared)
+        )
+
+
+def combine_partial_decryptions(
+    public_key: PaillierPublicKey,
+    partials: list[PartialDecryption],
+    n_parties: int,
+    signed: bool = True,
+) -> int:
+    """Combine all m partial decryptions into the plaintext.
+
+    Raises if any share is missing or duplicated — the full threshold
+    structure admits no decryption by fewer than m clients.
+    """
+    indices = sorted(p.party_index for p in partials)
+    if indices != list(range(n_parties)):
+        raise ValueError(
+            f"full-threshold decryption needs all {n_parties} shares, got "
+            f"indices {indices}"
+        )
+    opcount.GLOBAL.cd += 1
+    acc = 1
+    for partial in partials:
+        acc = (acc * partial.value) % public_key.n_squared
+    plaintext = ((acc - 1) // public_key.n) % public_key.n
+    return public_key.to_signed(plaintext) if signed else plaintext
+
+
+class ThresholdPaillier:
+    """Bundle of (pk, key shares) for an m-client deployment.
+
+    In the simulated deployment each :class:`~repro.core.client` object owns
+    exactly one :class:`ThresholdKeyShare`; this bundle exists so tests and
+    the trusted-setup phase can hand the shares out and so single-process
+    code can run a "joint decryption" in one call.
+    """
+
+    def __init__(
+        self,
+        public_key: PaillierPublicKey,
+        shares: list[ThresholdKeyShare],
+        private_key: PaillierPrivateKey | None = None,
+    ):
+        self.public_key = public_key
+        self.shares = shares
+        self.n_parties = len(shares)
+        # Retained only for tests/debugging; never used by the protocols.
+        self._private_key = private_key
+
+    def encrypt(self, plaintext: int) -> Ciphertext:
+        return self.public_key.encrypt(plaintext)
+
+    def joint_decrypt(self, ciphertext: Ciphertext, signed: bool = True) -> int:
+        """All m clients decrypt together (simulation convenience)."""
+        partials = [share.partial_decrypt(ciphertext) for share in self.shares]
+        return combine_partial_decryptions(
+            self.public_key, partials, self.n_parties, signed=signed
+        )
+
+
+def generate_threshold_keypair(
+    n_parties: int,
+    keysize: int = 1024,
+    p: int | None = None,
+    q: int | None = None,
+) -> ThresholdPaillier:
+    """Dealer-based full-threshold key generation for ``n_parties`` clients."""
+    if n_parties < 2:
+        raise ValueError(f"threshold Paillier needs >= 2 parties, got {n_parties}")
+    while True:
+        if p is None or q is None:
+            p_, q_ = primes.random_prime_pair(keysize)
+        else:
+            p_, q_ = p, q
+        n = p_ * q_
+        lam = _lcm(p_ - 1, q_ - 1)
+        # CRT requires gcd(lambda, n) = 1; fails only if p | q-1 or q | p-1,
+        # which is negligible for random primes but cheap to check.
+        if _coprime(lam, n):
+            break
+        if p is not None:
+            raise ValueError("supplied p, q give gcd(lambda, n) != 1")
+
+    public_key = PaillierPublicKey(n)
+    mu = pow(lam, -1, n)
+    private_key = PaillierPrivateKey(public_key, lam, mu)
+
+    # d = 0 (mod lambda), d = 1 (mod n), shared additively mod n*lambda.
+    d = lam * mu % (n * lam)
+    modulus = n * lam
+    shares_int = [secrets.randbelow(modulus) for _ in range(n_parties - 1)]
+    last = (d - sum(shares_int)) % modulus
+    shares_int.append(last)
+    shares = [
+        ThresholdKeyShare(public_key, i, d_i) for i, d_i in enumerate(shares_int)
+    ]
+    return ThresholdPaillier(public_key, shares, private_key)
+
+
+def _coprime(a: int, b: int) -> bool:
+    while b:
+        a, b = b, a % b
+    return a == 1

@@ -1,0 +1,17 @@
+"""MPC substrate: SPDZ-style additive secret sharing, Beaver multiplication,
+the Catrina–de Hoogh comparison suite, fixed-point division/exponential, and
+the ciphertext<->share conversions of Algorithm 2 (paper §2.2, §5.2)."""
+
+from repro.mpc.advanced import FixedPointOps
+from repro.mpc.engine import MPCEngine
+from repro.mpc.field import MERSENNE_127, PrimeField
+from repro.mpc.sharing import MacCheckError, SharedValue
+
+__all__ = [
+    "FixedPointOps",
+    "MERSENNE_127",
+    "MPCEngine",
+    "MacCheckError",
+    "PrimeField",
+    "SharedValue",
+]

@@ -1,0 +1,163 @@
+"""Conversions between TPHE ciphertexts and secret shares (Algorithm 2, §5.2).
+
+``cipher_to_share`` implements the paper's Algorithm 2: every client adds an
+encrypted random mask to the ciphertext, the masked value is jointly
+decrypted, and each client keeps (the negation of) her mask as her share —
+client 1 additionally adds the decrypted masked value.  The result is an
+additively shared value in Z_q.
+
+``share_to_cipher`` implements the reverse conversion used by the enhanced
+protocol (§5.2): every client encrypts her share and the shares are summed
+homomorphically.  The resulting plaintext equals the shared value plus a
+multiple of q < m·q, which :func:`decrypt_shared_cipher` strips after joint
+decryption (the Paillier plaintext space is orders of magnitude larger than
+q, so the wrap never aliases).
+
+Fixed-point handling: a ciphertext with exponent -S converts to a shared
+value at the MPC scale 2^F.  If S > F the converted value is securely
+truncated by S - F bits (probabilistic truncation); if S < F the ciphertext
+is first losslessly rescaled.
+"""
+
+from __future__ import annotations
+
+import secrets
+
+from repro.crypto.encoding import EncryptedNumber
+from repro.crypto.threshold import ThresholdPaillier
+from repro.mpc import comparison
+from repro.mpc.advanced import FixedPointOps
+from repro.mpc.sharing import SharedValue
+
+__all__ = [
+    "cipher_to_share",
+    "ciphers_to_shares",
+    "share_to_cipher",
+    "decrypt_shared_cipher",
+    "ConversionCounters",
+]
+
+
+class ConversionCounters:
+    """Counts conversions and threshold decryptions (Table 2's Cd)."""
+
+    def __init__(self) -> None:
+        self.to_shares = 0
+        self.to_cipher = 0
+        self.threshold_decryptions = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "to_shares": self.to_shares,
+            "to_cipher": self.to_cipher,
+            "threshold_decryptions": self.threshold_decryptions,
+        }
+
+
+def cipher_to_share(
+    value: EncryptedNumber,
+    threshold: ThresholdPaillier,
+    fixed: FixedPointOps,
+    counters: ConversionCounters | None = None,
+) -> SharedValue:
+    """Algorithm 2: convert one ciphertext into a secretly shared value.
+
+    Ciphertexts produced by :func:`share_to_cipher` (whose plaintext may
+    exceed q by a multiple of q) are handled transparently: building the
+    shares mod q strips the wrap before any secure truncation runs.
+    """
+    return ciphers_to_shares([value], threshold, fixed, counters)[0]
+
+
+def ciphers_to_shares(
+    values: list[EncryptedNumber],
+    threshold: ThresholdPaillier,
+    fixed: FixedPointOps,
+    counters: ConversionCounters | None = None,
+) -> list[SharedValue]:
+    """Batch Algorithm 2 (the m decryption rounds are batched in practice)."""
+    engine = fixed.engine
+    q = engine.field.q
+    m = threshold.n_parties
+    results: list[SharedValue] = []
+    for value in values:
+        target_exponent = -fixed.f
+        if value.exponent > target_exponent:
+            value = value.decrease_exponent_to(target_exponent)
+        extra = target_exponent - value.exponent  # >= 0
+        mask_bits = fixed.k + extra + engine.kappa
+        # Every client picks a mask, encrypts it and sends it to client 1
+        # (Algorithm 2 lines 1-3).
+        masks = [secrets.randbits(mask_bits) for _ in range(m)]
+        pk = threshold.public_key
+        masked_ct = value.ciphertext
+        for r in masks:
+            masked_ct = masked_ct + pk.encrypt(r)
+        # Joint decryption of the masked value (line 5).
+        masked_plain = threshold.joint_decrypt(masked_ct, signed=True)
+        if counters is not None:
+            counters.threshold_decryptions += 1
+            counters.to_shares += 1
+        # Client 1 sets e - r_1, the others -r_i (lines 6-8).
+        plain = masked_plain - sum(masks)  # == the signed plaintext
+        if engine.authenticated:
+            shared = engine._make_shared(plain % q)
+        else:
+            share_list = [(-r) % q for r in masks]
+            share_list[0] = (masked_plain - masks[0]) % q
+            shared = SharedValue(engine, tuple(share_list))
+        # Account the mask broadcast + combine as one communication round.
+        engine._record_round(messages=2 * (m - 1), values=m)
+        if extra:
+            shared = comparison.trunc_pr(engine, shared, fixed.k + extra, extra)
+        results.append(shared)
+    return results
+
+
+def share_to_cipher(
+    value: SharedValue,
+    threshold: ThresholdPaillier,
+    fixed: FixedPointOps,
+    counters: ConversionCounters | None = None,
+    exponent: int | None = None,
+) -> EncryptedNumber:
+    """Reverse conversion (§5.2): encrypt shares, sum homomorphically.
+
+    The plaintext of the returned ciphertext is Σ⟨x⟩_i over the integers,
+    i.e. x + t·q with 0 <= t < m; callers must decrypt it through
+    :func:`decrypt_shared_cipher` (or convert it back with
+    ``cipher_to_share(..., wrapped=True)``, which reduces mod q for free).
+
+    ``exponent`` declares the fixed-point scale of the shared value:
+    -F (the default) for fixed-point values, 0 for raw integers/bits such
+    as the enhanced protocol's selection vector [λ].
+    """
+    from repro.crypto.encoding import PaillierEncoder
+
+    pk = threshold.public_key
+    encoder = PaillierEncoder(pk, frac_bits=fixed.f)
+    total = None
+    for share in value.shares:
+        ct = pk.encrypt(share)
+        total = ct if total is None else total + ct
+    if counters is not None:
+        counters.to_cipher += 1
+    value.engine._record_round(
+        messages=value.n_parties * (value.n_parties - 1), values=value.n_parties
+    )
+    return EncryptedNumber(encoder, total, -fixed.f if exponent is None else exponent)
+
+
+def decrypt_shared_cipher(
+    value: EncryptedNumber,
+    threshold: ThresholdPaillier,
+    fixed: FixedPointOps,
+    counters: ConversionCounters | None = None,
+) -> float:
+    """Jointly decrypt a share_to_cipher ciphertext and strip the q-wrap."""
+    raw = threshold.joint_decrypt(value.ciphertext, signed=False)
+    if counters is not None:
+        counters.threshold_decryptions += 1
+    q = fixed.engine.field.q
+    reduced = fixed.engine.field.to_signed(raw % q)
+    return reduced * 2.0**value.exponent

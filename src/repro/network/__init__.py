@@ -1,0 +1,5 @@
+"""Simulated multi-party LAN with byte/round accounting (DESIGN.md §4.1)."""
+
+from repro.network.bus import MessageBus, NetworkModel
+
+__all__ = ["MessageBus", "NetworkModel"]

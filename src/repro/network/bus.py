@@ -1,0 +1,101 @@
+"""Simulated LAN between the m clients (paper §8.1 testbed substitution).
+
+The paper runs each client on its own machine in a LAN and measures wall
+time.  In this reproduction all clients live in one process, so network
+cost cannot be *observed* — instead it is *accounted*: every protocol send
+or broadcast reports its byte volume and every synchronisation point
+reports a round.  :class:`NetworkModel` converts the tallies into a modeled
+network time with the usual LAN cost shape
+
+    time = rounds * latency + bytes / bandwidth,
+
+which together with the operation-cost calibration in
+:mod:`repro.analysis` reconstructs the paper's Table-2 cost structure
+(DESIGN.md §4.1 documents this substitution).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+__all__ = ["NetworkModel", "MessageBus"]
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """A simple LAN cost model (defaults match a 1 GbE cluster)."""
+
+    latency_seconds: float = 0.5e-3
+    bandwidth_bytes_per_second: float = 125e6  # 1 Gbit/s
+
+    def time(self, rounds: int, n_bytes: int) -> float:
+        return rounds * self.latency_seconds + n_bytes / self.bandwidth_bytes_per_second
+
+
+class MessageBus:
+    """Byte/round accounting for the Paillier-layer protocol messages.
+
+    The MPC engine keeps its own counters (it knows its batching
+    structure); this bus covers everything else: broadcast of encrypted
+    label vectors, encrypted statistics, mask-vector updates, prediction
+    vectors, and so on.  Tags allow per-phase breakdowns in benchmarks.
+    """
+
+    def __init__(self, n_parties: int, model: NetworkModel | None = None):
+        if n_parties < 1:
+            raise ValueError("bus needs at least one party")
+        self.n_parties = n_parties
+        self.model = model or NetworkModel()
+        self.messages = 0
+        self.bytes = 0
+        self.rounds = 0
+        self.by_tag: dict[str, int] = defaultdict(int)
+
+    def _check_party(self, index: int) -> None:
+        if not 0 <= index < self.n_parties:
+            raise ValueError(f"party index {index} out of range")
+
+    def send(self, sender: int, receiver: int, n_bytes: int, tag: str = "") -> None:
+        self._check_party(sender)
+        self._check_party(receiver)
+        if sender == receiver:
+            raise ValueError("a party does not message itself")
+        self.messages += 1
+        self.bytes += n_bytes
+        if tag:
+            self.by_tag[tag] += n_bytes
+
+    def broadcast(self, sender: int, n_bytes: int, tag: str = "") -> None:
+        """One party sends the same payload to every other party."""
+        self._check_party(sender)
+        count = self.n_parties - 1
+        self.messages += count
+        self.bytes += n_bytes * count
+        if tag:
+            self.by_tag[tag] += n_bytes * count
+
+    def round(self, count: int = 1) -> None:
+        """Mark ``count`` synchronisation rounds."""
+        if count < 0:
+            raise ValueError("round count must be non-negative")
+        self.rounds += count
+
+    # -- reporting -----------------------------------------------------------
+
+    def simulated_time(self, extra_rounds: int = 0, extra_bytes: int = 0) -> float:
+        return self.model.time(self.rounds + extra_rounds, self.bytes + extra_bytes)
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "messages": self.messages,
+            "bytes": self.bytes,
+            "rounds": self.rounds,
+            "simulated_seconds": self.simulated_time(),
+        }
+
+    def reset(self) -> None:
+        self.messages = 0
+        self.bytes = 0
+        self.rounds = 0
+        self.by_tag = defaultdict(int)

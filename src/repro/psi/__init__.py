@@ -1,0 +1,5 @@
+"""Private set intersection substrate for sample alignment (paper §3.1)."""
+
+from repro.psi.dh_psi import PsiParty, align_samples, generate_psi_group, intersect
+
+__all__ = ["PsiParty", "align_samples", "generate_psi_group", "intersect"]

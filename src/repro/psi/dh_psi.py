@@ -1,0 +1,107 @@
+"""Diffie–Hellman private set intersection (paper §3.1 substrate).
+
+The paper assumes "the clients have determined and aligned their common
+samples using private set intersection techniques [54, 62, 19, 63]".  This
+module provides that substrate: the classic DH-based matchmaking protocol
+of Meadows [54] (the paper's reference for PSI), in which each party
+exponentiates hashed identifiers with a private exponent; commutativity of
+exponentiation lets the parties match doubly-masked identifiers without
+revealing anything outside the intersection.
+
+The protocol works in the multiplicative group of a public safe prime.
+Identifiers are hashed into the group with SHA-256 (a random-oracle style
+encoding, standard for DH-PSI).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import secrets
+
+from repro.crypto.primes import is_probable_prime, random_prime
+
+__all__ = ["PsiParty", "intersect", "generate_psi_group"]
+
+# A fixed 512-bit safe prime group for tests/examples (p = 2q + 1).  Groups
+# can be regenerated with generate_psi_group() for deployments.
+DEFAULT_PRIME = int(
+    "0xfb0261e35319f730e980560aebcaa0774c3d62d470ac3cf7da7d3f79b5be33bf"
+    "6e66540052d78872b40bb6df96189048c50f3c853406ec289cfddee7055fdb2b",
+    16,
+)
+
+
+def generate_psi_group(bits: int = 512, max_tries: int = 10_000) -> int:
+    """Generate a safe prime p = 2q + 1 of roughly ``bits`` bits."""
+    for _ in range(max_tries):
+        q = random_prime(bits - 1)
+        p = 2 * q + 1
+        if is_probable_prime(p):
+            return p
+    raise RuntimeError("failed to find a safe prime; increase max_tries")
+
+
+def _hash_to_group(identifier: str | int, prime: int) -> int:
+    digest = hashlib.sha256(str(identifier).encode()).digest()
+    # Square to land in the quadratic-residue subgroup of order q.
+    return pow(int.from_bytes(digest, "big") % prime, 2, prime)
+
+
+class PsiParty:
+    """One participant in the two-party DH-PSI protocol."""
+
+    def __init__(self, identifiers: list[str | int], prime: int = DEFAULT_PRIME):
+        self.prime = prime
+        self.identifiers = list(identifiers)
+        # Private exponent in the order-q subgroup.
+        self._exponent = secrets.randbelow((prime - 1) // 2 - 1) + 1
+
+    def masked_set(self) -> list[int]:
+        """H(id)^a for every identifier (sent to the peer)."""
+        return [
+            pow(_hash_to_group(i, self.prime), self._exponent, self.prime)
+            for i in self.identifiers
+        ]
+
+    def mask_peer(self, peer_masked: list[int]) -> list[int]:
+        """(H(id)^b)^a for the peer's masked identifiers."""
+        return [pow(value, self._exponent, self.prime) for value in peer_masked]
+
+
+def intersect(a: PsiParty, b: PsiParty) -> list[int]:
+    """Run the protocol; returns indices into ``a.identifiers``.
+
+    Both parties learn which of their identifiers are common (by position)
+    and nothing about non-intersecting identifiers beyond their count.
+    """
+    if a.prime != b.prime:
+        raise ValueError("parties use different groups")
+    double_a = b.mask_peer(a.masked_set())  # H(x)^ab for a's items
+    double_b = a.mask_peer(b.masked_set())  # H(y)^ba for b's items
+    b_set = set(double_b)
+    return [idx for idx, value in enumerate(double_a) if value in b_set]
+
+
+def align_samples(
+    id_sets: list[list[str | int]], prime: int = DEFAULT_PRIME
+) -> list[list[int]]:
+    """Align m > 2 clients by chaining pairwise PSI through client 0.
+
+    Returns, per client, the indices of her samples that all clients share,
+    ordered consistently (by client 0's identifier order).
+    """
+    if len(id_sets) < 2:
+        raise ValueError("alignment needs at least two clients")
+    base = list(id_sets[0])
+    surviving = list(range(len(base)))
+    for other_ids in id_sets[1:]:
+        a = PsiParty([base[i] for i in surviving], prime)
+        b = PsiParty(other_ids, prime)
+        keep = intersect(a, b)
+        surviving = [surviving[i] for i in keep]
+    common = [base[i] for i in surviving]
+    positions = []
+    for ids in id_sets:
+        index_of = {identifier: pos for pos, identifier in enumerate(ids)}
+        positions.append([index_of[c] for c in common])
+    return positions

@@ -1,0 +1,20 @@
+"""Plaintext tree substrate: CART, random forest, GBDT (paper §2.3) — the
+non-private baselines NP-DT / NP-RF / NP-GBDT of the evaluation (§8.1)."""
+
+from repro.tree.cart import DecisionTree, TreeParams
+from repro.tree.forest import RandomForest
+from repro.tree.gbdt import GBDTClassifier, GBDTRegressor
+from repro.tree.model import DecisionTreeModel, TreeNode
+from repro.tree.serialize import dump_model, load_model
+
+__all__ = [
+    "DecisionTree",
+    "DecisionTreeModel",
+    "GBDTClassifier",
+    "GBDTRegressor",
+    "RandomForest",
+    "TreeNode",
+    "TreeParams",
+    "dump_model",
+    "load_model",
+]

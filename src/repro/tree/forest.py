@@ -1,0 +1,91 @@
+"""Plaintext random forest — the NP-RF baseline (paper §2.3, §7.1).
+
+Trees are independent CARTs trained on row subsamples (drawn without
+replacement so the per-tree sample set is representable as the 0/1 mask
+vector the federated protocol uses) and optional per-tree feature subsets.
+Classification aggregates by majority vote, regression by mean prediction —
+exactly the aggregation Pivot-RF performs securely.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tree.cart import DecisionTree, TreeParams
+from repro.tree.model import DecisionTreeModel
+
+__all__ = ["RandomForest", "forest_subsets"]
+
+
+def forest_subsets(
+    n_samples: int,
+    n_trees: int,
+    sample_fraction: float,
+    seed: int | None,
+) -> list[np.ndarray]:
+    """Public per-tree row masks, shared verbatim with the secure trainer."""
+    if not 0 < sample_fraction <= 1:
+        raise ValueError("sample_fraction must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    size = max(1, int(round(n_samples * sample_fraction)))
+    masks = []
+    for _ in range(n_trees):
+        mask = np.zeros(n_samples, dtype=bool)
+        mask[rng.choice(n_samples, size=size, replace=False)] = True
+        masks.append(mask)
+    return masks
+
+
+class RandomForest:
+    """Bagged CART ensemble with the paper's aggregation rules."""
+
+    def __init__(
+        self,
+        task: str = "classification",
+        n_trees: int = 8,
+        params: TreeParams | None = None,
+        sample_fraction: float = 0.8,
+        seed: int | None = None,
+    ):
+        if n_trees < 1:
+            raise ValueError("n_trees must be >= 1")
+        self.task = task
+        self.n_trees = n_trees
+        self.params = params or TreeParams()
+        self.sample_fraction = sample_fraction
+        self.seed = seed
+        self.models: list[DecisionTreeModel] = []
+        self.n_classes = 0
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "RandomForest":
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels)
+        if self.task == "classification":
+            self.n_classes = max(2, int(labels.max()) + 1)
+        masks = forest_subsets(
+            features.shape[0], self.n_trees, self.sample_fraction, self.seed
+        )
+        self.models = []
+        for mask in masks:
+            tree = DecisionTree(self.task, self.params)
+            tree.fit(
+                features[mask],
+                labels[mask],
+                n_classes=self.n_classes if self.task == "classification" else None,
+            )
+            self.models.append(tree.model)  # type: ignore[arg-type]
+        return self
+
+    def predict(self, rows: np.ndarray) -> np.ndarray:
+        if not self.models:
+            raise RuntimeError("fit() must be called before predict()")
+        rows = np.asarray(rows, dtype=np.float64)
+        per_tree = np.stack([m.predict(rows) for m in self.models])
+        if self.task == "classification":
+            votes = np.apply_along_axis(
+                lambda col: np.bincount(col, minlength=self.n_classes),
+                0,
+                per_tree.astype(np.int64),
+            )
+            return np.argmax(votes, axis=0).astype(np.int64)
+        return per_tree.mean(axis=0)

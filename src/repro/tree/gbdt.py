@@ -1,0 +1,123 @@
+"""Plaintext gradient-boosting trees — the NP-GBDT baseline (§2.3, §7.2).
+
+Matches the structure Pivot-GBDT computes securely:
+
+* **Regression**: trees are fit sequentially on residuals
+  Y^{w+1} = Y - Ŷ^w, with Ŷ^w the running estimate accumulated with a
+  learning rate; exactly the paper's "training labels for the next tree are
+  the prediction losses between the ground truth labels and the prediction
+  outputs of previous trees".
+* **Classification**: one-vs-the-rest — one regression forest per class;
+  after every round the per-class raw scores go through a softmax and each
+  class's next tree fits (one-hot - probability) residuals (§7.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tree.cart import DecisionTree, TreeParams
+from repro.tree.model import DecisionTreeModel
+
+__all__ = ["GBDTRegressor", "GBDTClassifier", "softmax_rows"]
+
+
+def softmax_rows(scores: np.ndarray) -> np.ndarray:
+    """Row-wise softmax with the usual max-shift stabilisation."""
+    shifted = scores - scores.max(axis=1, keepdims=True)
+    exps = np.exp(shifted)
+    return exps / exps.sum(axis=1, keepdims=True)
+
+
+class GBDTRegressor:
+    """Squared-loss gradient boosting with CART weak learners."""
+
+    def __init__(
+        self,
+        n_rounds: int = 8,
+        learning_rate: float = 0.3,
+        params: TreeParams | None = None,
+    ):
+        if n_rounds < 1:
+            raise ValueError("n_rounds must be >= 1")
+        if not 0 < learning_rate <= 1:
+            raise ValueError("learning_rate must be in (0, 1]")
+        self.n_rounds = n_rounds
+        self.learning_rate = learning_rate
+        self.params = params or TreeParams()
+        self.models: list[DecisionTreeModel] = []
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "GBDTRegressor":
+        features = np.asarray(features, dtype=np.float64)
+        residual = np.asarray(labels, dtype=np.float64).copy()
+        self.models = []
+        estimate = np.zeros_like(residual)
+        for _ in range(self.n_rounds):
+            tree = DecisionTree("regression", self.params)
+            model = tree.fit(features, residual)
+            self.models.append(model)
+            estimate = estimate + self.learning_rate * model.predict(features)
+            residual = np.asarray(labels, dtype=np.float64) - estimate
+        return self
+
+    def predict(self, rows: np.ndarray) -> np.ndarray:
+        if not self.models:
+            raise RuntimeError("fit() must be called before predict()")
+        rows = np.asarray(rows, dtype=np.float64)
+        total = np.zeros(rows.shape[0])
+        for model in self.models:
+            total += self.learning_rate * model.predict(rows)
+        return total
+
+
+class GBDTClassifier:
+    """One-vs-rest gradient boosting with softmax residuals (§7.2)."""
+
+    def __init__(
+        self,
+        n_rounds: int = 8,
+        learning_rate: float = 0.3,
+        params: TreeParams | None = None,
+    ):
+        if n_rounds < 1:
+            raise ValueError("n_rounds must be >= 1")
+        self.n_rounds = n_rounds
+        self.learning_rate = learning_rate
+        self.params = params or TreeParams()
+        self.models: list[list[DecisionTreeModel]] = []  # [round][class]
+        self.n_classes = 0
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "GBDTClassifier":
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        self.n_classes = max(2, int(labels.max()) + 1)
+        onehot = np.eye(self.n_classes)[labels]
+        scores = np.zeros((features.shape[0], self.n_classes))
+        self.models = []
+        residual = onehot - softmax_rows(scores)
+        for _ in range(self.n_rounds):
+            round_models: list[DecisionTreeModel] = []
+            for k in range(self.n_classes):
+                tree = DecisionTree("regression", self.params)
+                model = tree.fit(features, residual[:, k])
+                round_models.append(model)
+                scores[:, k] += self.learning_rate * model.predict(features)
+            self.models.append(round_models)
+            residual = onehot - softmax_rows(scores)
+        return self
+
+    def predict_scores(self, rows: np.ndarray) -> np.ndarray:
+        if not self.models:
+            raise RuntimeError("fit() must be called before predict()")
+        rows = np.asarray(rows, dtype=np.float64)
+        scores = np.zeros((rows.shape[0], self.n_classes))
+        for round_models in self.models:
+            for k, model in enumerate(round_models):
+                scores[:, k] += self.learning_rate * model.predict(rows)
+        return scores
+
+    def predict_proba(self, rows: np.ndarray) -> np.ndarray:
+        return softmax_rows(self.predict_scores(rows))
+
+    def predict(self, rows: np.ndarray) -> np.ndarray:
+        return np.argmax(self.predict_scores(rows), axis=1).astype(np.int64)

@@ -1,0 +1,194 @@
+"""Binary decision-tree structures shared by every trainer in this repo.
+
+The same :class:`TreeNode` represents plaintext CART trees, Pivot's released
+plaintext models (basic protocol), and Pivot's partially-hidden models
+(enhanced protocol, where thresholds/leaf predictions are ``None`` in the
+public view and live in encrypted/shared side structures).
+
+The prediction protocols (Algorithm 4 and §5.2) need a canonical leaf
+ordering and the internal-node count t; helpers here provide both, with
+leaves ordered by depth-first left-to-right traversal — the "leaf label
+vector z = (z_1, ..., z_{t+1})" of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["TreeNode", "DecisionTreeModel"]
+
+
+@dataclass
+class TreeNode:
+    """One node of a binary CART tree.
+
+    Internal nodes carry (owner, feature, threshold); ``owner`` is the
+    client holding the feature (-1 for centralized trees), ``feature`` is
+    the owner-local feature index for federated trees or the global column
+    for centralized ones.  ``threshold`` and ``prediction`` may be ``None``
+    in the enhanced protocol's public view.
+    """
+
+    is_leaf: bool
+    depth: int
+    n_samples: float | None = None
+    # internal nodes
+    owner: int = -1
+    feature: int | None = None  # owner-local index for federated trees
+    global_feature: int | None = None  # global column id (for local eval)
+    threshold: float | None = None
+    left: "TreeNode | None" = None
+    right: "TreeNode | None" = None
+    # leaf nodes
+    prediction: float | int | None = None
+    # opaque payloads used by the enhanced protocol (encrypted threshold /
+    # shared leaf label); never interpreted by this module.
+    hidden: dict = field(default_factory=dict)
+
+    def children(self) -> tuple["TreeNode", "TreeNode"]:
+        if self.is_leaf:
+            raise ValueError("leaf nodes have no children")
+        assert self.left is not None and self.right is not None
+        return self.left, self.right
+
+
+class DecisionTreeModel:
+    """A trained binary tree plus metadata, with traversal utilities."""
+
+    def __init__(self, root: TreeNode, task: str, n_classes: int = 0):
+        if task not in ("classification", "regression"):
+            raise ValueError(f"unknown task {task!r}")
+        if task == "classification" and n_classes < 2:
+            raise ValueError("classification trees need n_classes >= 2")
+        self.root = root
+        self.task = task
+        self.n_classes = n_classes
+
+    # -- traversal ------------------------------------------------------------
+
+    def iter_nodes(self) -> Iterator[TreeNode]:
+        """Depth-first, left-before-right, root first."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            if not node.is_leaf:
+                stack.append(node.right)  # type: ignore[arg-type]
+                stack.append(node.left)  # type: ignore[arg-type]
+
+    def internal_nodes(self) -> list[TreeNode]:
+        return [n for n in self.iter_nodes() if not n.is_leaf]
+
+    def leaves(self) -> list[TreeNode]:
+        """Leaves in canonical order (the paper's z vector ordering)."""
+        ordered: list[TreeNode] = []
+
+        def visit(node: TreeNode) -> None:
+            if node.is_leaf:
+                ordered.append(node)
+            else:
+                visit(node.left)  # type: ignore[arg-type]
+                visit(node.right)  # type: ignore[arg-type]
+
+        visit(self.root)
+        return ordered
+
+    @property
+    def n_internal(self) -> int:
+        """t, the number of internal nodes; the tree has t + 1 leaves."""
+        return len(self.internal_nodes())
+
+    @property
+    def max_depth(self) -> int:
+        return max((n.depth for n in self.iter_nodes()), default=0)
+
+    def leaf_label_vector(self) -> list[float | int | None]:
+        """z = (z_1, ..., z_{t+1}) in canonical leaf order."""
+        return [leaf.prediction for leaf in self.leaves()]
+
+    def leaf_paths(self) -> list[list[tuple[TreeNode, int]]]:
+        """For each leaf (canonical order) the internal nodes on its path.
+
+        Each step is (node, direction) with direction 0 = left branch taken,
+        1 = right branch taken; exactly what the distributed prediction
+        needs to decide which leaves a client's comparison eliminates.
+        """
+        paths: list[list[tuple[TreeNode, int]]] = []
+
+        def visit(node: TreeNode, path: list[tuple[TreeNode, int]]) -> None:
+            if node.is_leaf:
+                paths.append(list(path))
+                return
+            visit(node.left, path + [(node, 0)])  # type: ignore[arg-type]
+            visit(node.right, path + [(node, 1)])  # type: ignore[arg-type]
+
+        visit(self.root, [])
+        return paths
+
+    # -- centralized prediction -------------------------------------------------
+
+    def predict_row(self, row: np.ndarray) -> float | int:
+        """Standard top-down prediction (centralized / plaintext models).
+
+        Federated trees index ``row`` by the node's global column id;
+        centralized trees by the (identical) local feature index.
+        """
+        node = self.root
+        while not node.is_leaf:
+            if node.threshold is None or node.feature is None:
+                raise ValueError(
+                    "model has hidden thresholds; use the secure prediction "
+                    "protocol instead"
+                )
+            column = node.feature if node.global_feature is None else node.global_feature
+            node = node.left if row[column] <= node.threshold else node.right
+        if node.prediction is None:
+            raise ValueError("model has hidden leaf labels")
+        return node.prediction
+
+    def predict(self, rows: np.ndarray) -> np.ndarray:
+        rows = np.asarray(rows, dtype=np.float64)
+        out = [self.predict_row(row) for row in rows]
+        if self.task == "classification":
+            return np.asarray(out, dtype=np.int64)
+        return np.asarray(out, dtype=np.float64)
+
+    # -- introspection ---------------------------------------------------------
+
+    def describe(self) -> str:
+        """A small human-readable rendering (used by examples)."""
+        lines: list[str] = []
+
+        def visit(node: TreeNode, indent: str) -> None:
+            if node.is_leaf:
+                label = "?" if node.prediction is None else f"{node.prediction}"
+                lines.append(f"{indent}leaf -> {label}")
+                return
+            owner = f"client {node.owner}, " if node.owner >= 0 else ""
+            thr = "<hidden>" if node.threshold is None else f"{node.threshold:.4g}"
+            lines.append(f"{indent}[{owner}feature {node.feature} <= {thr}]")
+            visit(node.left, indent + "  ")  # type: ignore[arg-type]
+            visit(node.right, indent + "  ")  # type: ignore[arg-type]
+
+        visit(self.root, "")
+        return "\n".join(lines)
+
+    def structure_signature(self) -> tuple:
+        """Hashable structure fingerprint used by equivalence tests."""
+
+        def sig(node: TreeNode) -> tuple:
+            if node.is_leaf:
+                return ("leaf", node.prediction)
+            return (
+                "node",
+                node.owner,
+                node.feature,
+                None if node.threshold is None else round(node.threshold, 9),
+                sig(node.left),  # type: ignore[arg-type]
+                sig(node.right),  # type: ignore[arg-type]
+            )
+
+        return sig(self.root)

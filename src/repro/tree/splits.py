@@ -1,0 +1,52 @@
+"""Candidate-split generation with a bounded split count b (paper §3.1).
+
+The paper's parameter b is "the maximum split number for any feature"; both
+the plaintext CART baseline and the Pivot protocols must evaluate the same
+candidate grid for the protocol-equivalence tests to be meaningful, so this
+module is the single source of truth for split candidates.
+
+Thresholds are midpoints between adjacent distinct values when a feature
+has few distinct values, and quantile boundaries otherwise (the standard
+equi-depth binning used by SecureBoost-style systems).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["candidate_splits", "candidate_splits_matrix"]
+
+
+def candidate_splits(column: np.ndarray, max_splits: int) -> list[float]:
+    """At most ``max_splits`` thresholds for one feature column.
+
+    A sample goes left iff ``value <= threshold``; thresholds are strictly
+    inside the value range so neither side is structurally empty.
+    """
+    if max_splits < 1:
+        raise ValueError(f"max_splits must be >= 1, got {max_splits}")
+    values = np.unique(np.asarray(column, dtype=np.float64))
+    if values.size <= 1:
+        return []
+    midpoints = (values[:-1] + values[1:]) / 2.0
+    if midpoints.size <= max_splits:
+        return [float(t) for t in midpoints]
+    # Equi-depth: pick thresholds at evenly spaced quantiles of the data.
+    quantiles = np.linspace(0, 1, max_splits + 2)[1:-1]
+    picks = np.quantile(np.asarray(column, dtype=np.float64), quantiles)
+    # Snap each quantile onto the nearest midpoint and deduplicate, keeping
+    # thresholds between observed values.
+    chosen = sorted(
+        {float(midpoints[np.argmin(np.abs(midpoints - p))]) for p in picks}
+    )
+    return chosen
+
+
+def candidate_splits_matrix(
+    features: np.ndarray, max_splits: int
+) -> list[list[float]]:
+    """Candidate thresholds for every column of a feature matrix."""
+    return [
+        candidate_splits(features[:, j], max_splits)
+        for j in range(features.shape[1])
+    ]

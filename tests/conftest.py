@@ -1,0 +1,26 @@
+"""Shared fixtures: a session-scoped threshold key so the many protocol
+tests don't each pay key generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto import generate_keypair, generate_threshold_keypair
+
+TEST_KEYSIZE = 256
+
+
+@pytest.fixture(scope="session")
+def keypair():
+    return generate_keypair(TEST_KEYSIZE)
+
+
+@pytest.fixture(scope="session")
+def threshold3():
+    """A 3-party threshold Paillier deployment (the paper's default m)."""
+    return generate_threshold_keypair(3, TEST_KEYSIZE)
+
+
+@pytest.fixture(scope="session")
+def threshold2():
+    return generate_threshold_keypair(2, TEST_KEYSIZE)

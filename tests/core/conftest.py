@@ -1,0 +1,89 @@
+"""Shared fixtures for the protocol tests.
+
+Sizes are deliberately tiny (tens of samples, b = 2, h = 2): every fixture
+run executes real Paillier + MPC protocols, and the protocol logic is
+identical at every scale.  Equivalence fixtures return both the secure
+context and the matching plaintext split grid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import PivotConfig, PivotContext
+from repro.data import make_classification, make_regression, vertical_partition
+from repro.tree import TreeParams
+
+TEST_KEYSIZE = 256
+
+
+def make_context(
+    X,
+    y,
+    task,
+    m=3,
+    keysize=TEST_KEYSIZE,
+    protocol="basic",
+    gain_mode="paper",
+    seed=7,
+    params=None,
+    **config_kwargs,
+):
+    params = params or TreeParams(max_depth=2, max_splits=2)
+    vp = vertical_partition(X, y, m, task=task)
+    cfg = PivotConfig(
+        keysize=keysize,
+        tree=params,
+        seed=seed,
+        protocol=protocol,
+        gain_mode=gain_mode,
+        **config_kwargs,
+    )
+    return PivotContext(vp, cfg)
+
+
+def global_split_grid(context) -> list[list[float]]:
+    """The secure trainer's candidate-split grid, in global column order."""
+    vp = context.partition
+    total = sum(len(c) for c in vp.columns_per_client)
+    grid: list[list[float]] = [[] for _ in range(total)]
+    for ci, cols in enumerate(vp.columns_per_client):
+        for local, global_col in enumerate(cols):
+            grid[global_col] = context.clients[ci].split_values[local]
+    return grid
+
+
+def global_signature(node, vp):
+    """Tree fingerprint with client-local features mapped to global ids."""
+    if node.is_leaf:
+        p = node.prediction
+        return ("leaf", p if isinstance(p, (int, type(None))) else round(p, 4))
+    feature = (
+        vp.global_feature_of(node.owner, node.feature)
+        if node.owner >= 0
+        else node.feature
+    )
+    threshold = None if node.threshold is None else round(node.threshold, 8)
+    return (
+        "node",
+        feature,
+        threshold,
+        global_signature(node.left, vp),
+        global_signature(node.right, vp),
+    )
+
+
+@pytest.fixture(scope="session")
+def small_classification():
+    return make_classification(40, 4, n_classes=2, seed=1)
+
+
+@pytest.fixture(scope="session")
+def small_multiclass():
+    return make_classification(40, 4, n_classes=3, seed=21)
+
+
+@pytest.fixture(scope="session")
+def small_regression():
+    return make_regression(36, 4, noise=0.05, seed=2)

@@ -1,0 +1,133 @@
+"""Enhanced-protocol training and prediction (§5): hidden thresholds/leaf
+labels, private split selection, Eq. 10 mask update, shared-model
+prediction."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PivotConfig,
+    PivotContext,
+    PivotDecisionTree,
+    predict_batch,
+    predict_enhanced,
+)
+from repro.data import vertical_partition
+from repro.tree import TreeParams
+
+from tests.core.conftest import make_context
+
+ENHANCED_KEYSIZE = 512  # supports max_depth <= 2 (q-wrap growth, DESIGN.md)
+
+
+@pytest.fixture(scope="module")
+def enhanced_setup(request):
+    from repro.data import make_classification
+
+    X, y = make_classification(30, 4, n_classes=2, seed=1)
+    params = TreeParams(max_depth=2, max_splits=2)
+    ctx = make_context(
+        X, y, "classification", keysize=ENHANCED_KEYSIZE, protocol="enhanced",
+        params=params,
+    )
+    model = PivotDecisionTree(ctx).fit()
+    basic_ctx = make_context(X, y, "classification", params=params)
+    basic_model = PivotDecisionTree(basic_ctx).fit()
+    return X, y, ctx, model, basic_ctx, basic_model
+
+
+def test_thresholds_and_labels_hidden(enhanced_setup):
+    _, _, _, model, _, _ = enhanced_setup
+    for node in model.internal_nodes():
+        assert node.threshold is None
+        assert "threshold_share" in node.hidden
+        assert "threshold_cipher" in node.hidden
+    for leaf in model.leaves():
+        assert leaf.prediction is None
+        assert "label_share" in leaf.hidden
+        assert "label_cipher" in leaf.hidden
+
+
+def test_split_features_match_basic(enhanced_setup):
+    """§5.2 releases (i*, j*) but hides s*: the feature skeleton equals the
+    basic protocol's tree."""
+    _, _, _, model, _, basic_model = enhanced_setup
+    enhanced = [(n.owner, n.feature) for n in model.internal_nodes()]
+    basic = [(n.owner, n.feature) for n in basic_model.internal_nodes()]
+    assert enhanced == basic
+
+
+def test_hidden_thresholds_decode_to_basic_values(enhanced_setup):
+    _, _, ctx, model, _, basic_model = enhanced_setup
+    for enhanced_node, basic_node in zip(
+        model.internal_nodes(), basic_model.internal_nodes()
+    ):
+        decoded = ctx.fx.open(enhanced_node.hidden["threshold_share"])
+        assert decoded == pytest.approx(basic_node.threshold, abs=1e-3)
+
+
+def test_hidden_leaf_labels_decode_to_basic_values(enhanced_setup):
+    _, _, ctx, model, _, basic_model = enhanced_setup
+    for enhanced_leaf, basic_leaf in zip(model.leaves(), basic_model.leaves()):
+        decoded = ctx.fx.open(enhanced_leaf.hidden["label_share"])
+        assert round(decoded) == basic_leaf.prediction
+
+
+def test_enhanced_prediction_matches_basic(enhanced_setup):
+    X, _, ctx, model, basic_ctx, basic_model = enhanced_setup
+    secure = [predict_enhanced(model, ctx, row) for row in X[:8]]
+    plain = list(predict_batch(basic_model, basic_ctx, X[:8]))
+    assert secure == plain
+
+
+def test_enhanced_model_rejects_plaintext_prediction(enhanced_setup):
+    X, _, ctx, model, _, _ = enhanced_setup
+    with pytest.raises(ValueError):
+        model.predict(X[:1])
+    from repro.core.prediction import predict_basic
+
+    with pytest.raises(ValueError):
+        predict_basic(model, ctx, X[0])
+
+
+def test_transcript_hides_split_values(enhanced_setup):
+    """The enhanced run must never log a best-split identifier with s*, a
+    leaf label, or a raw threshold."""
+    _, _, ctx, _, _, _ = enhanced_setup
+    tags = [tag for tag, _ in ctx.revealed]
+    assert any(tag.startswith("best-feature") for tag in tags)
+    assert not any(tag.startswith("best-split") for tag in tags)
+    assert not any(tag.startswith("leaf-label") for tag in tags)
+
+
+def test_enhanced_regression():
+    from repro.data import make_regression
+
+    X, y = make_regression(24, 4, seed=5)
+    params = TreeParams(max_depth=1, max_splits=2)
+    ctx = make_context(
+        X, y, "regression", keysize=ENHANCED_KEYSIZE, protocol="enhanced",
+        params=params,
+    )
+    model = PivotDecisionTree(ctx).fit()
+    basic_ctx = make_context(X, y, "regression", params=params)
+    basic_model = PivotDecisionTree(basic_ctx).fit()
+    secure = [predict_enhanced(model, ctx, row) for row in X[:5]]
+    plain = [basic_model.predict_row(row) for row in X[:5]]
+    for s, p in zip(secure, plain):
+        assert s == pytest.approx(p, abs=5e-2 * max(1.0, abs(p)))
+
+
+def test_depth_keysize_guard():
+    with pytest.raises(ValueError):
+        PivotConfig(
+            keysize=256, protocol="enhanced", tree=TreeParams(max_depth=2)
+        )
+    # 512 bits supports depth 2 ...
+    PivotConfig(keysize=512, protocol="enhanced", tree=TreeParams(max_depth=2))
+    # ... but not the paper's h = 6 (needs the paper's 1024-bit keys).
+    with pytest.raises(ValueError):
+        PivotConfig(
+            keysize=512, protocol="enhanced", tree=TreeParams(max_depth=6)
+        )
+    PivotConfig(keysize=1024, protocol="enhanced", tree=TreeParams(max_depth=6))

@@ -1,0 +1,86 @@
+"""Distributed prediction, Algorithm 4 (§4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import PivotDecisionTree, predict_basic, predict_batch
+from repro.core.prediction import predict_basic_encrypted
+from repro.tree import DecisionTree, TreeParams
+
+from tests.core.conftest import global_split_grid, make_context
+
+
+@pytest.fixture(scope="module")
+def trained(small_classification):
+    X, y = small_classification
+    ctx = make_context(X, y, "classification")
+    model = PivotDecisionTree(ctx).fit()
+    return X, y, ctx, model
+
+
+def test_matches_centralized_prediction(trained):
+    X, _, ctx, model = trained
+    secure = predict_batch(model, ctx, X[:10])
+    plain = model.predict(X[:10])  # centralized walk over the same tree
+    assert list(secure) == list(plain)
+
+
+def test_single_sample(trained):
+    X, _, ctx, model = trained
+    assert predict_basic(model, ctx, X[0]) == model.predict_row(X[0])
+
+
+def test_encrypted_prediction_decrypts_to_plain(trained):
+    X, _, ctx, model = trained
+    encrypted = predict_basic_encrypted(model, ctx, X[3])
+    value = ctx.joint_decrypt(encrypted, tag="test")
+    assert int(round(value)) == model.predict_row(X[3])
+
+
+def test_eta_has_single_survivor(trained):
+    """After all clients' updates exactly one [1] survives in [η]."""
+    from repro.core.ensemble import _encrypted_eta
+
+    X, _, ctx, model = trained
+    eta = _encrypted_eta(model, ctx, X[0])
+    opened = [
+        ctx.threshold.joint_decrypt(e.ciphertext) for e in eta
+    ]
+    assert sorted(opened) == [0] * (len(eta) - 1) + [1]
+
+
+def test_prediction_vector_size_is_leaf_count(trained):
+    from repro.core.ensemble import _encrypted_eta
+
+    X, _, ctx, model = trained
+    eta = _encrypted_eta(model, ctx, X[0])
+    assert len(eta) == model.n_internal + 1
+
+
+def test_regression_prediction(small_regression):
+    X, y = small_regression
+    ctx = make_context(X, y, "regression")
+    model = PivotDecisionTree(ctx).fit()
+    secure = predict_batch(model, ctx, X[:6])
+    plain = model.predict(X[:6])
+    assert np.allclose(secure, plain, atol=1e-3)
+
+
+def test_unknown_protocol_rejected(trained):
+    X, _, ctx, model = trained
+    with pytest.raises(ValueError):
+        predict_batch(model, ctx, X[:1], protocol="quantum")
+
+
+def test_prediction_communication_scales_with_clients(small_classification):
+    """Fig. 4g's driver: basic prediction cost grows with m (round-robin)."""
+    X, y = small_classification
+    params = TreeParams(max_depth=2, max_splits=2)
+    costs = []
+    for m in (2, 4):
+        ctx = make_context(X, y, "classification", m=m, params=params)
+        model = PivotDecisionTree(ctx).fit()
+        ctx.bus.reset()
+        predict_basic(model, ctx, X[0])
+        costs.append(ctx.bus.bytes)
+    assert costs[1] > costs[0]

@@ -1,0 +1,114 @@
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import PaillierEncoder
+from repro.crypto.encoding import EncodedNumber, encrypted_dot_product
+
+FLOATS = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@pytest.fixture(scope="module")
+def encoder(threshold3):
+    return PaillierEncoder(threshold3.public_key)
+
+
+def decrypt_number(tp, number):
+    return tp.joint_decrypt(number.ciphertext) * 2.0**number.exponent
+
+
+def test_integer_encoding_is_exact(encoder):
+    enc = encoder.encode(12345)
+    assert enc.exponent == 0
+    assert enc.encoding == 12345
+
+
+@settings(deadline=None, max_examples=50)
+@given(x=FLOATS)
+def test_encode_decode_precision(threshold3, x):
+    encoder = PaillierEncoder(threshold3.public_key)
+    decoded = encoder.decode(encoder.encode(x))
+    assert math.isclose(decoded, x, abs_tol=2.0**-encoder.frac_bits)
+
+
+@settings(deadline=None, max_examples=20)
+@given(x=FLOATS, y=FLOATS)
+def test_encrypted_addition(threshold3, x, y):
+    encoder = PaillierEncoder(threshold3.public_key)
+    total = encoder.encrypt(x) + encoder.encrypt(y)
+    assert math.isclose(
+        decrypt_number(threshold3, total), x + y, abs_tol=2.0**-14
+    )
+
+
+@settings(deadline=None, max_examples=20)
+@given(x=FLOATS, k=st.floats(min_value=-100, max_value=100, allow_nan=False))
+def test_encrypted_scalar_multiplication(threshold3, x, k):
+    encoder = PaillierEncoder(threshold3.public_key)
+    prod = encoder.encrypt(x) * k
+    # Multiplication is exact with respect to the *encoded* operands.
+    expected = encoder.decode(encoder.encode(x)) * encoder.decode(encoder.encode(k))
+    assert math.isclose(
+        decrypt_number(threshold3, prod), expected, rel_tol=1e-9, abs_tol=1e-9
+    )
+
+
+def test_mixed_exponent_addition_aligns(threshold3, encoder):
+    a = encoder.encrypt(3)  # exponent 0
+    b = encoder.encrypt(0.5)  # exponent -frac_bits
+    total = a + b
+    assert total.exponent == -encoder.frac_bits
+    assert decrypt_number(threshold3, total) == 3.5
+
+
+def test_plaintext_scalar_addition(threshold3, encoder):
+    a = encoder.encrypt(1.25)
+    assert decrypt_number(threshold3, a + 2) == 3.25
+    assert decrypt_number(threshold3, 2 - a) == 0.75
+
+
+def test_decrease_exponent_is_lossless(threshold3, encoder):
+    a = encoder.encrypt(7.5)
+    lowered = a.decrease_exponent_to(a.exponent - 8)
+    assert decrypt_number(threshold3, lowered) == 7.5
+
+
+def test_increase_exponent_rejected(encoder):
+    a = encoder.encrypt(1.0)
+    with pytest.raises(ValueError):
+        a.decrease_exponent_to(0)
+    with pytest.raises(ValueError):
+        EncodedNumber(3, -2).decrease_exponent_to(0)
+
+
+def test_overflow_rejected(encoder):
+    with pytest.raises(OverflowError):
+        encoder.encode(encoder.public_key.n)
+
+
+def test_encrypted_dot_product(threshold3, encoder):
+    values = [encoder.encrypt(v) for v in (1.5, -2.0, 0.25, 4.0)]
+    coeffs = [1, 0, 4, -1]
+    result = encrypted_dot_product(coeffs, values)
+    assert decrypt_number(threshold3, result) == 1.5 + 1.0 - 4.0
+
+
+def test_dot_product_mixed_exponents_rejected(encoder):
+    values = [encoder.encrypt(1), encoder.encrypt(0.5)]
+    with pytest.raises(ValueError):
+        encrypted_dot_product([1, 1], values)
+
+
+def test_dot_product_empty_rejected():
+    with pytest.raises(ValueError):
+        encrypted_dot_product([], [])
+
+
+def test_fraction_roundtrip_exact(encoder):
+    # Values exactly representable in 16 fractional bits roundtrip exactly.
+    for v in (0.5, -0.25, 1234.0625, -7.75):
+        assert encoder.decode(encoder.encode(v)) == v

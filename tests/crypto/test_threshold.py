@@ -1,0 +1,73 @@
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.threshold import (
+    combine_partial_decryptions,
+    generate_threshold_keypair,
+)
+
+VALUES = st.integers(min_value=-(2**60), max_value=2**60)
+
+
+@settings(deadline=None, max_examples=25)
+@given(x=VALUES)
+def test_joint_decrypt_roundtrip(threshold3, x):
+    assert threshold3.joint_decrypt(threshold3.encrypt(x)) == x
+
+
+def test_all_shares_required(threshold3):
+    ct = threshold3.encrypt(5)
+    partials = [s.partial_decrypt(ct) for s in threshold3.shares[:2]]
+    with pytest.raises(ValueError):
+        combine_partial_decryptions(threshold3.public_key, partials, 3)
+
+
+def test_duplicate_share_rejected(threshold3):
+    ct = threshold3.encrypt(5)
+    p0 = threshold3.shares[0].partial_decrypt(ct)
+    partials = [p0, p0, threshold3.shares[1].partial_decrypt(ct)]
+    with pytest.raises(ValueError):
+        combine_partial_decryptions(threshold3.public_key, partials, 3)
+
+
+def test_partial_shares_do_not_decrypt_alone(threshold3):
+    """No single client's share reveals the plaintext (sanity, not a proof)."""
+    ct = threshold3.encrypt(42)
+    pk = threshold3.public_key
+    for share in threshold3.shares:
+        partial = share.partial_decrypt(ct)
+        candidate = ((partial.value - 1) // pk.n) % pk.n
+        assert candidate != 42
+
+
+def test_homomorphic_ops_then_threshold_decrypt(threshold3):
+    tp = threshold3
+    a, b = tp.encrypt(1000), tp.encrypt(-58)
+    assert tp.joint_decrypt(a + b) == 942
+    assert tp.joint_decrypt(a * 7) == 7000
+
+
+@pytest.mark.parametrize("m", [2, 4, 5])
+def test_various_party_counts(m):
+    tp = generate_threshold_keypair(m, 256)
+    assert len(tp.shares) == m
+    assert tp.joint_decrypt(tp.encrypt(-777)) == -777
+
+
+def test_rejects_single_party():
+    with pytest.raises(ValueError):
+        generate_threshold_keypair(1, 256)
+
+
+def test_threshold_equals_plain_decryption(threshold3):
+    """The dealer's withheld plain key decrypts identically (internal check)."""
+    ct = threshold3.encrypt(31337)
+    assert threshold3._private_key.decrypt(ct) == 31337
+
+
+def test_cross_key_partial_decrypt_rejected(threshold3):
+    other = generate_threshold_keypair(3, 256)
+    ct = other.encrypt(9)
+    with pytest.raises(ValueError):
+        threshold3.shares[0].partial_decrypt(ct)

@@ -1,0 +1,52 @@
+import numpy as np
+import pytest
+
+from repro.data import make_classification, vertical_partition
+
+
+@pytest.fixture()
+def data():
+    return make_classification(60, 10, n_classes=2, seed=0)
+
+
+def test_even_split(data):
+    X, y = data
+    vp = vertical_partition(X, y, 3)
+    assert vp.n_clients == 3
+    assert [len(c) for c in vp.columns_per_client] == [4, 3, 3]
+    assert vp.n_samples == 60
+
+
+def test_columns_cover_everything(data):
+    X, y = data
+    vp = vertical_partition(X, y, 4)
+    seen = [c for block in vp.columns_per_client for c in block]
+    assert sorted(seen) == list(range(10))
+
+
+def test_local_matrices_match_columns(data):
+    X, y = data
+    vp = vertical_partition(X, y, 3)
+    for client in range(3):
+        for local, global_col in enumerate(vp.columns_per_client[client]):
+            assert np.array_equal(vp.local_features[client][:, local], X[:, global_col])
+            assert vp.global_feature_of(client, local) == global_col
+
+
+def test_shuffled_split_reproducible(data):
+    X, y = data
+    a = vertical_partition(X, y, 3, shuffle_columns=True, seed=9)
+    b = vertical_partition(X, y, 3, shuffle_columns=True, seed=9)
+    assert a.columns_per_client == b.columns_per_client
+
+
+def test_validation(data):
+    X, y = data
+    with pytest.raises(ValueError):
+        vertical_partition(X, y, 1)
+    with pytest.raises(ValueError):
+        vertical_partition(X, y, 11)
+    with pytest.raises(ValueError):
+        vertical_partition(X, y[:-1], 3)
+    with pytest.raises(ValueError):
+        vertical_partition(X, y, 3, super_client=7)

@@ -1,0 +1,58 @@
+import numpy as np
+import pytest
+
+from repro.data import make_classification, make_regression
+
+
+def test_classification_shapes_and_classes():
+    X, y = make_classification(200, 10, n_classes=4, seed=0)
+    assert X.shape == (200, 10)
+    assert y.shape == (200,)
+    assert set(np.unique(y)) == {0, 1, 2, 3}
+
+
+def test_classification_roughly_balanced():
+    _, y = make_classification(400, 6, n_classes=4, seed=1)
+    counts = np.bincount(y)
+    assert counts.min() >= 90  # 400/4 = 100 per class +- shuffle
+
+
+def test_classification_reproducible():
+    a = make_classification(50, 5, seed=42)
+    b = make_classification(50, 5, seed=42)
+    assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+
+def test_classification_has_signal():
+    """A nearest-centroid rule must beat chance by a wide margin."""
+    X, y = make_classification(600, 8, n_classes=3, class_sep=2.0, seed=2)
+    centroids = np.stack([X[y == k].mean(axis=0) for k in range(3)])
+    dists = ((X[:, None, :] - centroids[None]) ** 2).sum(axis=2)
+    predicted = dists.argmin(axis=1)
+    assert (predicted == y).mean() > 0.6
+
+
+def test_classification_validation():
+    with pytest.raises(ValueError):
+        make_classification(2, 5, n_classes=4)
+    with pytest.raises(ValueError):
+        make_classification(10, 0)
+
+
+def test_regression_shapes_and_scale():
+    X, y = make_regression(300, 7, seed=3)
+    assert X.shape == (300, 7)
+    assert np.abs(y).max() <= 1.0 + 1e-12
+
+
+def test_regression_has_signal():
+    X, y = make_regression(500, 6, noise=0.05, seed=4)
+    # Best single linear fit must explain a nontrivial share of variance.
+    coef, *_ = np.linalg.lstsq(np.c_[X, np.ones(len(y))], y, rcond=None)
+    residual = y - np.c_[X, np.ones(len(y))] @ coef
+    assert residual.var() < 0.8 * y.var()
+
+
+def test_regression_validation():
+    with pytest.raises(ValueError):
+        make_regression(10, 0)

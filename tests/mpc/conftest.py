@@ -1,0 +1,28 @@
+import pytest
+
+from repro.mpc import FixedPointOps, MPCEngine
+
+
+@pytest.fixture()
+def engine():
+    return MPCEngine(3, seed=1234)
+
+
+@pytest.fixture()
+def engine2():
+    return MPCEngine(2, seed=99)
+
+
+@pytest.fixture()
+def auth_engine():
+    return MPCEngine(3, authenticated=True, seed=4321)
+
+
+@pytest.fixture()
+def fx(engine):
+    return FixedPointOps(engine)
+
+
+@pytest.fixture()
+def auth_fx(auth_engine):
+    return FixedPointOps(auth_engine)

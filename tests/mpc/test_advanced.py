@@ -1,0 +1,143 @@
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.mpc import FixedPointOps, MPCEngine
+from repro.mpc.field import PrimeField
+
+REALS = st.floats(min_value=-1000, max_value=1000, allow_nan=False)
+POSITIVES = st.floats(min_value=0.01, max_value=1000, allow_nan=False)
+
+relaxed = settings(
+    deadline=None,
+    max_examples=10,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+def test_rejects_oversized_format():
+    engine = MPCEngine(2, field=PrimeField(2**61 - 1), seed=0)
+    with pytest.raises(ValueError):
+        FixedPointOps(engine, k=40)
+
+
+def test_encode_decode_roundtrip(fx):
+    for v in (0.0, 1.5, -2.25, 1000.0625):
+        assert fx.decode(fx.encode(v)) == v
+
+
+def test_encode_overflow(fx):
+    with pytest.raises(OverflowError):
+        fx.encode(2.0 ** (fx.k - fx.f))
+
+
+@relaxed
+@given(x=REALS, y=REALS)
+def test_fixed_mul(fx, x, y):
+    got = fx.open(fx.mul(fx.share(x), fx.share(y)))
+    assert math.isclose(got, x * y, rel_tol=1e-3, abs_tol=1e-3)
+
+
+@relaxed
+@given(x=REALS, k=st.floats(min_value=-50, max_value=50, allow_nan=False))
+def test_mul_public(fx, x, k):
+    got = fx.open(fx.mul_public(fx.share(x), k))
+    assert math.isclose(got, x * k, rel_tol=1e-3, abs_tol=1e-2)
+
+
+def test_square(fx):
+    assert math.isclose(fx.open(fx.square(fx.share(-3.0))), 9.0, abs_tol=1e-3)
+
+
+# -- normalisation / reciprocal / division -----------------------------------
+
+
+@relaxed
+@given(b=POSITIVES)
+def test_norm_scales_into_top_interval(fx, b):
+    c, v = fx.norm(fx.share(b))
+    c_open = fx.engine.open(c)
+    assert (1 << (fx.k - 1)) <= c_open < (1 << fx.k)
+
+
+@relaxed
+@given(b=st.floats(min_value=0.1, max_value=500, allow_nan=False))
+def test_app_rcr_error_bound(fx, b):
+    w = fx.open(fx.app_rcr(fx.share(b)))
+    assert math.isclose(w, 1 / b, rel_tol=0.09, abs_tol=1e-3)
+
+
+@relaxed
+@given(a=REALS, b=st.floats(min_value=0.5, max_value=800, allow_nan=False))
+def test_division(fx, a, b):
+    got = fx.open(fx.div(fx.share(a), fx.share(b)))
+    assert math.isclose(got, a / b, rel_tol=2e-3, abs_tol=2e-3)
+
+
+def test_division_small_denominator(fx):
+    got = fx.open(fx.div(fx.share(1.0), fx.share(0.125)))
+    assert math.isclose(got, 8.0, rel_tol=1e-3)
+
+
+def test_division_by_zero_yields_zero(fx):
+    assert fx.open(fx.div(fx.share(5.0), fx.share(0.0))) == 0.0
+
+
+def test_reciprocal(fx):
+    assert math.isclose(fx.open(fx.reciprocal(fx.share(4.0))), 0.25, abs_tol=1e-3)
+
+
+# -- clamp / exp / softmax ------------------------------------------------------
+
+
+def test_clamp(fx):
+    assert fx.open(fx.clamp(fx.share(10.0), -2.0, 2.0)) == 2.0
+    assert fx.open(fx.clamp(fx.share(-10.0), -2.0, 2.0)) == -2.0
+    assert math.isclose(fx.open(fx.clamp(fx.share(1.5), -2.0, 2.0)), 1.5, abs_tol=1e-4)
+
+
+@relaxed
+@given(x=st.floats(min_value=-5.5, max_value=5.5, allow_nan=False))
+def test_exp(fx, x):
+    got = fx.open(fx.exp(fx.share(x)))
+    assert math.isclose(got, math.exp(x), rel_tol=0.02, abs_tol=0.02)
+
+
+def test_exp_clamps_extremes(fx):
+    big = fx.open(fx.exp(fx.share(50.0)))
+    assert math.isclose(big, math.exp(6.0), rel_tol=0.05)
+    small = fx.open(fx.exp(fx.share(-50.0)))
+    assert math.isclose(small, math.exp(-6.0), abs_tol=0.01)
+
+
+@relaxed
+@given(
+    scores=st.lists(
+        st.floats(min_value=-3, max_value=3, allow_nan=False), min_size=2, max_size=4
+    )
+)
+def test_softmax(fx, scores):
+    got = [fx.open(p) for p in fx.softmax([fx.share(s) for s in scores])]
+    exps = [math.exp(s) for s in scores]
+    want = [e / sum(exps) for e in exps]
+    for g, w in zip(got, want):
+        assert math.isclose(g, w, abs_tol=0.02)
+    assert math.isclose(sum(got), 1.0, abs_tol=0.05)
+
+
+def test_fixed_argmax_and_comparisons(fx):
+    values = [fx.share(v) for v in (0.5, -1.25, 2.75, 2.5)]
+    idx, mx, onehot = fx.argmax(values)
+    assert fx.engine.open(idx) == 2
+    assert math.isclose(fx.open(mx), 2.75, abs_tol=1e-4)
+    assert fx.engine.open(fx.lt(values[0], values[2])) == 1
+    assert fx.engine.open(fx.gt(values[0], values[1])) == 1
+    assert fx.engine.open(fx.ltz(values[1])) == 1
+    assert fx.engine.open(fx.eqz(values[0] - values[0])) == 1
+
+
+def test_authenticated_fixed_point(auth_fx):
+    got = auth_fx.open(auth_fx.div(auth_fx.share(3.0), auth_fx.share(2.0)))
+    assert math.isclose(got, 1.5, rel_tol=1e-3)

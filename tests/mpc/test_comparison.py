@@ -1,0 +1,170 @@
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.mpc import comparison as cmp
+
+K = 40
+SIGNED_K = st.integers(min_value=-(2 ** (K - 1)) + 1, max_value=2 ** (K - 1) - 1)
+
+relaxed = settings(
+    deadline=None,
+    max_examples=15,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+def shared(engine, x):
+    return engine._make_shared(engine.field.from_signed(x))
+
+
+# -- bit_lt_public ------------------------------------------------------------
+
+
+@relaxed
+@given(c=st.integers(min_value=0, max_value=255), r=st.integers(min_value=0, max_value=255))
+def test_bit_lt_public(engine, c, r):
+    r_bits = [shared(engine, (r >> i) & 1) for i in range(8)]
+    got = engine.open(cmp.bit_lt_public(engine, c, r_bits))
+    assert got == (1 if c < r else 0)
+
+
+def test_bit_lt_empty(engine):
+    assert engine.open(cmp.bit_lt_public(engine, 0, [])) == 0
+
+
+def test_bit_lt_equal_values(engine):
+    r_bits = [shared(engine, b) for b in (1, 0, 1)]
+    assert engine.open(cmp.bit_lt_public(engine, 0b101, r_bits)) == 0
+
+
+# -- mod2m / trunc ------------------------------------------------------------
+
+
+@relaxed
+@given(a=SIGNED_K, m=st.integers(min_value=1, max_value=20))
+def test_mod2m(engine, a, m):
+    got = engine.open(cmp.mod2m(engine, shared(engine, a), K, m))
+    assert got == a % (1 << m)
+
+
+def test_mod2m_zero_bits(engine):
+    assert engine.open(cmp.mod2m(engine, shared(engine, 99), K, 0)) == 0
+
+
+def test_mod2m_m_too_large(engine):
+    with pytest.raises(ValueError):
+        cmp.mod2m(engine, shared(engine, 1), K, K)
+
+
+@relaxed
+@given(a=SIGNED_K, m=st.integers(min_value=1, max_value=20))
+def test_trunc_exact_floor(engine, a, m):
+    got = engine.field.to_signed(engine.open(cmp.trunc(engine, shared(engine, a), K, m)))
+    assert got == a >> m  # arithmetic shift == floor division
+
+
+def test_trunc_zero_is_identity(engine):
+    sv = shared(engine, 77)
+    assert cmp.trunc(engine, sv, K, 0) is sv
+
+
+@relaxed
+@given(a=SIGNED_K, m=st.integers(min_value=1, max_value=20))
+def test_trunc_pr_within_one_ulp(engine, a, m):
+    got = engine.field.to_signed(
+        engine.open(cmp.trunc_pr(engine, shared(engine, a), K, m))
+    )
+    assert got in (a >> m, (a >> m) + 1)
+
+
+# -- sign / comparison --------------------------------------------------------
+
+
+@relaxed
+@given(a=SIGNED_K)
+def test_ltz(engine, a):
+    assert engine.open(cmp.ltz(engine, shared(engine, a), K)) == (1 if a < 0 else 0)
+
+
+@relaxed
+@given(a=SIGNED_K, b=SIGNED_K)
+def test_lt_gt_le(engine, a, b):
+    sa, sb = shared(engine, a), shared(engine, b)
+    assert engine.open(cmp.lt(engine, sa, sb, K)) == int(a < b)
+    assert engine.open(cmp.gt(engine, sa, sb, K)) == int(a > b)
+    assert engine.open(cmp.le(engine, sa, sb, K)) == int(a <= b)
+
+
+@relaxed
+@given(a=st.integers(min_value=-100, max_value=100))
+def test_eqz(engine, a):
+    assert engine.open(cmp.eqz(engine, shared(engine, a), K)) == int(a == 0)
+
+
+@relaxed
+@given(a=SIGNED_K, b=SIGNED_K)
+def test_eq(engine, a, b):
+    sa, sb = shared(engine, a), shared(engine, b)
+    assert engine.open(cmp.eq(engine, sa, sb, K)) == int(a == b)
+
+
+def test_select(engine):
+    yes, no = shared(engine, 111), shared(engine, 222)
+    one, zero = engine.share_public(1), engine.share_public(0)
+    assert engine.open(cmp.select(engine, one, yes, no)) == 111
+    assert engine.open(cmp.select(engine, zero, yes, no)) == 222
+
+
+# -- bit decomposition ---------------------------------------------------------
+
+
+@relaxed
+@given(a=st.integers(min_value=0, max_value=2**16 - 1))
+def test_bit_dec(engine, a):
+    bits = cmp.bit_dec(engine, shared(engine, a), 16)
+    got = sum(engine.open(b) << i for i, b in enumerate(bits))
+    assert got == a
+
+
+def test_bit_dec_zero_and_max(engine):
+    for a in (0, 2**10 - 1):
+        bits = cmp.bit_dec(engine, shared(engine, a), 10)
+        assert sum(engine.open(b) << i for i, b in enumerate(bits)) == a
+
+
+# -- prefix OR / argmax ---------------------------------------------------------
+
+
+def test_prefix_or(engine):
+    bits = [shared(engine, b) for b in (0, 0, 1, 0, 1)]
+    prefix = cmp.prefix_or_msb_first(engine, bits)
+    assert [engine.open(p) for p in prefix] == [0, 0, 1, 1, 1]
+
+
+@relaxed
+@given(
+    values=st.lists(
+        st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=6
+    )
+)
+def test_argmax(engine, values):
+    shared_vals = [shared(engine, v) for v in values]
+    idx, mx, onehot = cmp.argmax(engine, shared_vals, K)
+    expected_idx = values.index(max(values))  # first maximum wins ties
+    assert engine.open(idx) == expected_idx
+    assert engine.field.to_signed(engine.open(mx)) == max(values)
+    opened = [engine.open(o) for o in onehot]
+    assert opened == [int(i == expected_idx) for i in range(len(values))]
+
+
+def test_argmax_empty_rejected(engine):
+    with pytest.raises(ValueError):
+        cmp.argmax(engine, [], K)
+
+
+def test_authenticated_comparisons(auth_engine):
+    sa = auth_engine._make_shared(auth_engine.field.from_signed(-3))
+    sb = auth_engine._make_shared(5)
+    assert auth_engine.open(cmp.lt(auth_engine, sa, sb, K)) == 1
+    assert auth_engine.open(cmp.ltz(auth_engine, sa, K)) == 1

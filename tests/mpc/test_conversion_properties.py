@@ -1,0 +1,70 @@
+"""Linearity properties of the Algorithm 2 conversions: converting a
+homomorphic combination equals combining the conversions."""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import PaillierEncoder
+from repro.mpc.conversion import cipher_to_share, share_to_cipher
+
+relaxed = settings(
+    deadline=None,
+    max_examples=10,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+VALUES = st.floats(min_value=-500, max_value=500, allow_nan=False)
+
+
+@pytest.fixture()
+def encoder(threshold3):
+    return PaillierEncoder(threshold3.public_key)
+
+
+@relaxed
+@given(x=VALUES, y=VALUES)
+def test_convert_of_sum_equals_sum_of_converts(threshold3, encoder, fx, x, y):
+    cx, cy = encoder.encrypt(x), encoder.encrypt(y)
+    combined = cipher_to_share(cx + cy, threshold3, fx)
+    separate = cipher_to_share(cx, threshold3, fx) + cipher_to_share(
+        cy, threshold3, fx
+    )
+    assert math.isclose(fx.open(combined), fx.open(separate), abs_tol=2e-4)
+
+
+@relaxed
+@given(x=VALUES, k=st.integers(min_value=-20, max_value=20))
+def test_convert_commutes_with_scalar_multiplication(threshold3, encoder, fx, x, k):
+    ct = encoder.encrypt(x)
+    scaled_then_converted = cipher_to_share(ct * k, threshold3, fx)
+    converted_then_scaled = cipher_to_share(ct, threshold3, fx) * k
+    assert math.isclose(
+        fx.open(scaled_then_converted),
+        fx.open(converted_then_scaled),
+        abs_tol=2e-4,
+    )
+
+
+@relaxed
+@given(x=VALUES)
+def test_double_roundtrip_is_stable(threshold3, fx, x):
+    sv = fx.share(x)
+    ct = share_to_cipher(sv, threshold3, fx)
+    sv2 = cipher_to_share(ct, threshold3, fx)
+    ct2 = share_to_cipher(sv2, threshold3, fx)
+    sv3 = cipher_to_share(ct2, threshold3, fx)
+    assert math.isclose(fx.open(sv3), fx.open(sv), abs_tol=2e-4)
+
+
+@relaxed
+@given(xs=st.lists(VALUES, min_size=2, max_size=5))
+def test_batch_matches_individual(threshold3, encoder, fx, xs):
+    from repro.mpc.conversion import ciphers_to_shares
+
+    cts = [encoder.encrypt(v) for v in xs]
+    batch = ciphers_to_shares(cts, threshold3, fx)
+    for sv, v in zip(batch, xs):
+        assert math.isclose(fx.open(sv), v, abs_tol=2e-4)

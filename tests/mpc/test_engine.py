@@ -1,0 +1,172 @@
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.mpc import MacCheckError, MPCEngine, SharedValue
+
+SIGNED = st.integers(min_value=-(2**62), max_value=2**62)
+
+relaxed = settings(
+    deadline=None,
+    max_examples=20,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+def test_rejects_single_party():
+    with pytest.raises(ValueError):
+        MPCEngine(1)
+
+
+def test_share_public_and_open(engine):
+    assert engine.open(engine.share_public(42)) == 42
+
+
+def test_open_signed(engine):
+    sv = engine.share_public(engine.field.from_signed(-5))
+    assert engine.open_signed(sv) == -5
+
+
+@relaxed
+@given(x=SIGNED, y=SIGNED)
+def test_addition(engine, x, y):
+    f = engine.field
+    a = engine._make_shared(f.from_signed(x))
+    b = engine._make_shared(f.from_signed(y))
+    assert f.to_signed(engine.open(a + b)) == x + y
+    assert f.to_signed(engine.open(a - b)) == x - y
+    assert f.to_signed(engine.open(-a)) == -x
+
+
+@relaxed
+@given(x=SIGNED, k=st.integers(min_value=-1000, max_value=1000))
+def test_public_scaling_and_addition(engine, x, k):
+    f = engine.field
+    a = engine._make_shared(f.from_signed(x))
+    assert f.to_signed(engine.open(a * k)) == x * k
+    assert f.to_signed(engine.open(a + f.from_signed(k))) == x + k
+    assert f.to_signed(engine.open(k - a)) == k - x
+
+
+@relaxed
+@given(x=st.integers(min_value=-(2**40), max_value=2**40), y=st.integers(min_value=-(2**40), max_value=2**40))
+def test_beaver_multiplication(engine, x, y):
+    f = engine.field
+    a = engine._make_shared(f.from_signed(x))
+    b = engine._make_shared(f.from_signed(y))
+    assert f.to_signed(engine.open(engine.mul(a, b))) == x * y
+
+
+def test_mul_many_batches_one_round(engine):
+    f = engine.field
+    pairs = [
+        (engine._make_shared(i), engine._make_shared(i + 1)) for i in range(5)
+    ]
+    rounds_before = engine.stats.rounds
+    results = engine.mul_many(pairs)
+    assert engine.stats.rounds == rounds_before + 1
+    assert [engine.open(r) for r in results] == [i * (i + 1) for i in range(5)]
+
+
+def test_inner_product(engine):
+    xs = [engine._make_shared(v) for v in (1, 2, 3)]
+    ys = [engine._make_shared(v) for v in (4, 5, 6)]
+    assert engine.open(engine.inner_product(xs, ys)) == 32
+
+
+def test_inner_product_empty(engine):
+    assert engine.open(engine.inner_product([], [])) == 0
+
+
+def test_inner_product_length_mismatch(engine):
+    with pytest.raises(ValueError):
+        engine.inner_product([engine.share_public(1)], [])
+
+
+def test_sum_values(engine):
+    vals = [engine._make_shared(v) for v in (10, 20, 30)]
+    assert engine.open(engine.sum_values(vals)) == 60
+    assert engine.open(engine.sum_values([])) == 0
+
+
+def test_input_private_owner_validation(engine):
+    with pytest.raises(ValueError):
+        engine.input_private(1, owner=5)
+    sv = engine.input_private(77, owner=2)
+    assert engine.open(sv) == 77
+
+
+def test_input_many(engine):
+    values = engine.input_many([1, 2, 3], owner=0)
+    assert [engine.open(v) for v in values] == [1, 2, 3]
+
+
+def test_shares_look_random(engine):
+    """No single party's share equals the secret (overwhelmingly likely)."""
+    sv = engine._make_shared(42)
+    assert any(s != 42 for s in sv.shares)
+    assert sum(sv.shares) % engine.field.q == 42
+
+
+def test_cross_engine_operations_rejected(engine, engine2):
+    a = engine.share_public(1)
+    b = engine2.share_public(1)
+    with pytest.raises(ValueError):
+        _ = a + b
+    with pytest.raises(ValueError):
+        engine2.open(a)
+
+
+# -- authenticated (SPDZ MAC) mode -------------------------------------------
+
+
+def test_authenticated_open(auth_engine):
+    sv = auth_engine._make_shared(123)
+    assert sv.macs is not None
+    assert auth_engine.open(sv) == 123
+
+
+def test_authenticated_arithmetic_preserves_macs(auth_engine):
+    a = auth_engine._make_shared(10)
+    b = auth_engine._make_shared(20)
+    c = (a + b) * 3 - 15
+    assert c.macs is not None
+    assert auth_engine.open(c) == 75
+
+
+def test_authenticated_mul(auth_engine):
+    a = auth_engine._make_shared(6)
+    b = auth_engine._make_shared(7)
+    assert auth_engine.open(auth_engine.mul(a, b)) == 42
+
+
+def test_tampered_share_detected(auth_engine):
+    sv = auth_engine._make_shared(5)
+    bad_shares = list(sv.shares)
+    bad_shares[1] = (bad_shares[1] + 1) % auth_engine.field.q
+    with pytest.raises(MacCheckError):
+        auth_engine.open(SharedValue(auth_engine, tuple(bad_shares), sv.macs))
+
+
+def test_tampered_mac_detected(auth_engine):
+    sv = auth_engine._make_shared(5)
+    bad_macs = list(sv.macs)
+    bad_macs[0] = (bad_macs[0] + 1) % auth_engine.field.q
+    with pytest.raises(MacCheckError):
+        auth_engine.open(SharedValue(auth_engine, sv.shares, tuple(bad_macs)))
+
+
+def test_unauthenticated_share_rejected_in_auth_mode(auth_engine):
+    sv = SharedValue(auth_engine, auth_engine._make_shared(5).shares, None)
+    with pytest.raises(MacCheckError):
+        auth_engine.open(sv)
+
+
+def test_comm_accounting(engine):
+    engine.reset_stats()
+    a = engine._make_shared(1)
+    b = engine._make_shared(2)
+    engine.mul(a, b)  # one batched open round
+    assert engine.stats.rounds == 1
+    assert engine.stats.opened_values == 2
+    assert engine.stats.bytes > 0

@@ -1,0 +1,74 @@
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.primes import is_probable_prime
+from repro.mpc.field import MERSENNE_127, PrimeField
+
+ELEMENTS = st.integers(min_value=0, max_value=MERSENNE_127.q - 1)
+
+
+def test_default_modulus_is_prime():
+    assert MERSENNE_127.q == 2**127 - 1
+    assert is_probable_prime(MERSENNE_127.q)
+
+
+def test_rejects_tiny_modulus():
+    with pytest.raises(ValueError):
+        PrimeField(2)
+
+
+@given(a=ELEMENTS, b=ELEMENTS)
+def test_add_sub_inverse(a, b):
+    f = MERSENNE_127
+    assert f.sub(f.add(a, b), b) == a % f.q
+
+
+@given(a=ELEMENTS.filter(lambda x: x != 0))
+def test_mul_inv(a):
+    f = MERSENNE_127
+    assert f.mul(a, f.inv(a)) == 1
+
+
+def test_inv_zero_raises():
+    with pytest.raises(ZeroDivisionError):
+        MERSENNE_127.inv(0)
+
+
+@given(x=st.integers(min_value=-(2**100), max_value=2**100))
+def test_signed_roundtrip(x):
+    f = MERSENNE_127
+    assert f.to_signed(f.from_signed(x)) == x
+
+
+def test_signed_boundaries():
+    f = MERSENNE_127
+    assert f.to_signed(f.half) == f.half
+    assert f.to_signed(f.half + 1) == f.half + 1 - f.q
+
+
+@given(m=st.integers(min_value=0, max_value=120))
+def test_pow2_inv(m):
+    f = MERSENNE_127
+    assert f.mul(f.pow2_inv(m), pow(2, m, f.q)) == 1
+
+
+@given(v=ELEMENTS, n=st.integers(min_value=2, max_value=8))
+def test_additive_split_reconstructs(v, n):
+    f = MERSENNE_127
+    shares = f.additive_split(v, n)
+    assert len(shares) == n
+    assert sum(shares) % f.q == v
+
+
+def test_random_below_bounds():
+    f = MERSENNE_127
+    assert 0 <= f.random_below(10) < 10
+    with pytest.raises(ValueError):
+        f.random_below(f.q + 1)
+
+
+def test_equality_and_hash():
+    assert PrimeField(2**127 - 1) == MERSENNE_127
+    assert hash(PrimeField(2**127 - 1)) == hash(MERSENNE_127)
+    assert PrimeField(101) != MERSENNE_127

@@ -1,0 +1,51 @@
+import pytest
+
+from repro.network import MessageBus, NetworkModel
+
+
+def test_send_accounting():
+    bus = MessageBus(3)
+    bus.send(0, 1, 100, tag="stats")
+    bus.send(1, 2, 50, tag="stats")
+    assert bus.messages == 2
+    assert bus.bytes == 150
+    assert bus.by_tag["stats"] == 150
+
+
+def test_broadcast_counts_fanout():
+    bus = MessageBus(4)
+    bus.broadcast(0, 10, tag="label-vectors")
+    assert bus.messages == 3
+    assert bus.bytes == 30
+
+
+def test_round_counting_and_model():
+    model = NetworkModel(latency_seconds=1e-3, bandwidth_bytes_per_second=1e6)
+    bus = MessageBus(2, model)
+    bus.broadcast(0, 1000)
+    bus.round(5)
+    assert bus.rounds == 5
+    assert bus.simulated_time() == pytest.approx(5e-3 + 1e-3)
+
+
+def test_validation():
+    bus = MessageBus(2)
+    with pytest.raises(ValueError):
+        bus.send(0, 0, 1)
+    with pytest.raises(ValueError):
+        bus.send(0, 5, 1)
+    with pytest.raises(ValueError):
+        bus.round(-1)
+    with pytest.raises(ValueError):
+        MessageBus(0)
+
+
+def test_reset_and_snapshot():
+    bus = MessageBus(2)
+    bus.broadcast(0, 10)
+    bus.round()
+    snap = bus.snapshot()
+    assert snap["bytes"] == 10 and snap["rounds"] == 1
+    bus.reset()
+    assert bus.snapshot()["bytes"] == 0
+    assert bus.by_tag == {}

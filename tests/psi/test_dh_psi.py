@@ -1,0 +1,61 @@
+import pytest
+
+from repro.psi import PsiParty, align_samples, intersect
+from repro.psi.dh_psi import DEFAULT_PRIME, _hash_to_group
+from repro.crypto.primes import is_probable_prime
+
+
+def test_default_group_is_safe_prime():
+    assert is_probable_prime(DEFAULT_PRIME)
+    assert is_probable_prime((DEFAULT_PRIME - 1) // 2)
+
+
+def test_hash_lands_in_group():
+    h = _hash_to_group("user-42", DEFAULT_PRIME)
+    assert 0 < h < DEFAULT_PRIME
+
+
+def test_basic_intersection():
+    a = PsiParty(["u1", "u2", "u3", "u7"])
+    b = PsiParty(["u3", "u9", "u1"])
+    assert intersect(a, b) == [0, 2]
+
+
+def test_disjoint_sets():
+    assert intersect(PsiParty(["a", "b"]), PsiParty(["c", "d"])) == []
+
+
+def test_identical_sets():
+    ids = ["x", "y", "z"]
+    assert intersect(PsiParty(ids), PsiParty(list(ids))) == [0, 1, 2]
+
+
+def test_integer_identifiers():
+    assert intersect(PsiParty([10, 20, 30]), PsiParty([30, 10])) == [0, 2]
+
+
+def test_mismatched_groups_rejected():
+    a = PsiParty(["x"], prime=DEFAULT_PRIME)
+    b = PsiParty(["x"], prime=2 * ((DEFAULT_PRIME - 1) // 2) + 1 + 4)  # different int
+    with pytest.raises(ValueError):
+        intersect(a, b)
+
+
+def test_masked_sets_hide_identifiers():
+    """The same identifier masks differently under different keys."""
+    a = PsiParty(["secret"])
+    b = PsiParty(["secret"])
+    assert a.masked_set() != b.masked_set()
+
+
+def test_three_party_alignment():
+    positions = align_samples([["a", "b", "c", "d"], ["d", "c", "x"], ["c", "y", "d"]])
+    # common = [c, d] in client-0 order
+    assert positions[0] == [2, 3]
+    assert positions[1] == [1, 0]
+    assert positions[2] == [0, 2]
+
+
+def test_alignment_requires_two_clients():
+    with pytest.raises(ValueError):
+        align_samples([["a"]])

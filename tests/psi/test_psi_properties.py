@@ -1,0 +1,35 @@
+"""Property-based tests for the PSI substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.psi import PsiParty, intersect
+
+IDS = st.lists(
+    st.text(alphabet="abcdefgh", min_size=1, max_size=4),
+    min_size=0,
+    max_size=8,
+    unique=True,
+)
+
+
+@settings(deadline=None, max_examples=15)
+@given(a_ids=IDS, b_ids=IDS)
+def test_intersection_matches_set_semantics(a_ids, b_ids):
+    result = intersect(PsiParty(a_ids), PsiParty(b_ids))
+    expected = [i for i, x in enumerate(a_ids) if x in set(b_ids)]
+    assert result == expected
+
+
+@settings(deadline=None, max_examples=10)
+@given(ids=IDS)
+def test_self_intersection_is_identity(ids):
+    assert intersect(PsiParty(ids), PsiParty(list(ids))) == list(range(len(ids)))
+
+
+@settings(deadline=None, max_examples=10)
+@given(a_ids=IDS, b_ids=IDS)
+def test_symmetry_of_cardinality(a_ids, b_ids):
+    forward = intersect(PsiParty(a_ids), PsiParty(b_ids))
+    backward = intersect(PsiParty(b_ids), PsiParty(a_ids))
+    assert len(forward) == len(backward)

@@ -1,0 +1,127 @@
+import numpy as np
+import pytest
+
+from repro.data import make_classification, make_regression
+from repro.tree import DecisionTree, TreeParams
+from repro.tree.metrics import accuracy, mean_squared_error
+
+
+def test_fits_simple_and_pure():
+    X = np.array([[0.0], [1.0], [2.0], [3.0]])
+    y = np.array([0, 0, 1, 1])
+    model = DecisionTree("classification").fit(X, y)
+    assert accuracy(model.predict(X), y) == 1.0
+    assert model.n_internal == 1
+    assert model.root.threshold == pytest.approx(1.5)
+
+
+def test_pure_node_becomes_leaf():
+    X = np.array([[1.0], [2.0], [3.0]])
+    y = np.array([1, 1, 1])
+    model = DecisionTree("classification").fit(X, y)
+    assert model.root.is_leaf
+    assert model.root.prediction == 1
+
+
+def test_max_depth_respected():
+    X, y = make_classification(200, 6, n_classes=2, seed=0)
+    model = DecisionTree("classification", TreeParams(max_depth=2)).fit(X, y)
+    assert model.max_depth <= 2
+
+
+def test_min_samples_split():
+    X, y = make_classification(50, 4, n_classes=2, seed=1)
+    model = DecisionTree(
+        "classification", TreeParams(min_samples_split=40)
+    ).fit(X, y)
+    # Only the root has enough samples to split.
+    assert model.max_depth <= 1
+
+
+def test_min_samples_leaf_blocks_degenerate_splits():
+    X = np.array([[0.0], [1.0], [1.0], [1.0]])
+    y = np.array([0, 1, 1, 1])
+    model = DecisionTree(
+        "classification", TreeParams(min_samples_leaf=2)
+    ).fit(X, y)
+    assert model.root.is_leaf  # the only useful split would isolate 1 sample
+
+
+def test_remove_used_feature_mode():
+    X, y = make_classification(100, 3, n_classes=2, seed=2)
+    model = DecisionTree(
+        "classification", TreeParams(max_depth=5, remove_used_feature=True)
+    ).fit(X, y)
+    # No path may reuse a feature.
+    for path in model.leaf_paths():
+        used = [node.feature for node, _ in path]
+        assert len(used) == len(set(used))
+
+
+def test_regression_fit_quality():
+    X, y = make_regression(300, 5, noise=0.02, seed=3)
+    model = DecisionTree("regression", TreeParams(max_depth=5)).fit(X, y)
+    assert mean_squared_error(model.predict(X), y) < 0.7 * float(np.var(y))
+
+
+def test_regression_leaf_is_mean():
+    X = np.array([[0.0], [0.1], [5.0], [5.1]])
+    y = np.array([1.0, 2.0, 10.0, 12.0])
+    model = DecisionTree("regression", TreeParams(max_depth=1)).fit(X, y)
+    left, right = model.root.children()
+    assert left.prediction == pytest.approx(1.5)
+    assert right.prediction == pytest.approx(11.0)
+
+
+def test_classification_accuracy_beats_chance():
+    X, y = make_classification(400, 8, n_classes=4, seed=4)
+    model = DecisionTree("classification", TreeParams(max_depth=4)).fit(X, y)
+    assert accuracy(model.predict(X), y) > 0.45  # chance is 0.25
+
+
+def test_deterministic():
+    X, y = make_classification(150, 5, seed=5)
+    a = DecisionTree("classification").fit(X, y)
+    b = DecisionTree("classification").fit(X, y)
+    assert a.structure_signature() == b.structure_signature()
+
+
+def test_tie_break_prefers_first_feature():
+    # Duplicate columns: identical gains; column 0 must win.
+    base = np.array([0.0, 0.0, 1.0, 1.0])
+    X = np.column_stack([base, base])
+    y = np.array([0, 0, 1, 1])
+    model = DecisionTree("classification").fit(X, y)
+    assert model.root.feature == 0
+
+
+def test_validation_errors():
+    X, y = make_classification(20, 3, seed=6)
+    with pytest.raises(ValueError):
+        DecisionTree("clustering")
+    with pytest.raises(ValueError):
+        DecisionTree("classification", TreeParams(max_depth=0))
+    with pytest.raises(ValueError):
+        DecisionTree("classification").fit(X[:0], y[:0])
+    with pytest.raises(ValueError):
+        DecisionTree("classification").fit(X, y[:-1])
+    tree = DecisionTree("classification")
+    with pytest.raises(RuntimeError):
+        tree.predict(X)
+
+
+def test_external_split_candidates():
+    X = np.array([[0.0], [1.0], [2.0], [3.0]])
+    y = np.array([0, 0, 1, 1])
+    model = DecisionTree("classification").fit(X, y, split_candidates=[[0.5]])
+    # Forced to use the only allowed threshold.
+    assert model.root.threshold == pytest.approx(0.5)
+
+
+def test_model_introspection():
+    X, y = make_classification(100, 4, seed=7)
+    model = DecisionTree("classification", TreeParams(max_depth=3)).fit(X, y)
+    assert len(model.leaves()) == model.n_internal + 1
+    assert len(model.leaf_label_vector()) == model.n_internal + 1
+    assert len(model.leaf_paths()) == model.n_internal + 1
+    assert "feature" in model.describe()

@@ -1,0 +1,83 @@
+"""Property-based CART invariants (Algorithm 1 semantics)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tree import DecisionTree, TreeParams
+from repro.tree.metrics import gini_gain
+
+
+@st.composite
+def datasets(draw):
+    n = draw(st.integers(min_value=6, max_value=40))
+    d = draw(st.integers(min_value=1, max_value=4))
+    rng = np.random.default_rng(draw(st.integers(min_value=0, max_value=10**6)))
+    X = rng.normal(size=(n, d))
+    y = rng.integers(0, draw(st.integers(min_value=2, max_value=3)), size=n)
+    return X, y
+
+
+@settings(deadline=None, max_examples=25)
+@given(data=datasets(), depth=st.integers(min_value=1, max_value=4))
+def test_every_leaf_holds_training_samples(data, depth):
+    X, y = data
+    model = DecisionTree("classification", TreeParams(max_depth=depth)).fit(X, y)
+    # Route every training sample; every reached leaf must predict a class
+    # that actually occurs, and the per-leaf majority property must hold.
+    leaf_samples: dict[int, list[int]] = {}
+    for index, row in enumerate(X):
+        node = model.root
+        while not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+        leaf_samples.setdefault(id(node), []).append(index)
+        assert node.prediction in set(y)
+    # Internal-node split masks partition the sample set.
+    total = sum(len(v) for v in leaf_samples.values())
+    assert total == len(y)
+
+
+@settings(deadline=None, max_examples=25)
+@given(data=datasets())
+def test_chosen_splits_have_positive_gain(data):
+    X, y = data
+    model = DecisionTree("classification", TreeParams(max_depth=3)).fit(X, y)
+    # Recompute each internal node's gain on the samples that reach it.
+    def visit(node, mask):
+        if node.is_leaf:
+            return
+        column = X[:, node.feature]
+        left = mask & (column <= node.threshold)
+        right = mask & ~(column <= node.threshold)
+        n_classes = int(y.max()) + 1
+        gain = gini_gain(
+            np.bincount(y[left], minlength=n_classes),
+            np.bincount(y[right], minlength=n_classes),
+        )
+        assert gain > 0, "a selected split must strictly reduce impurity"
+        visit(node.left, left)
+        visit(node.right, right)
+
+    visit(model.root, np.ones(len(y), dtype=bool))
+
+
+@settings(deadline=None, max_examples=25)
+@given(data=datasets(), depth=st.integers(min_value=1, max_value=3))
+def test_depth_bound_and_leaf_count(data, depth):
+    X, y = data
+    model = DecisionTree("classification", TreeParams(max_depth=depth)).fit(X, y)
+    assert model.max_depth <= depth
+    assert len(model.leaves()) == model.n_internal + 1
+    assert len(model.leaves()) <= 2**depth
+
+
+@settings(deadline=None, max_examples=15)
+@given(data=datasets())
+def test_training_accuracy_at_least_majority(data):
+    """A fitted tree can never do worse than the majority class on its own
+    training set (the root leaf already achieves that)."""
+    X, y = data
+    model = DecisionTree("classification", TreeParams(max_depth=3)).fit(X, y)
+    predictions = model.predict(X)
+    majority = np.bincount(y).max() / len(y)
+    assert (predictions == y).mean() >= majority - 1e-12

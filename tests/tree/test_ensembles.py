@@ -1,0 +1,103 @@
+import numpy as np
+import pytest
+
+from repro.data import make_classification, make_regression
+from repro.tree import GBDTClassifier, GBDTRegressor, RandomForest, TreeParams
+from repro.tree.forest import forest_subsets
+from repro.tree.gbdt import softmax_rows
+from repro.tree.metrics import accuracy, mean_squared_error
+
+
+@pytest.fixture(scope="module")
+def classification_data():
+    return make_classification(400, 8, n_classes=3, seed=10)
+
+
+@pytest.fixture(scope="module")
+def regression_data():
+    return make_regression(400, 8, noise=0.05, seed=11)
+
+
+def test_forest_subsets_properties():
+    masks = forest_subsets(100, 5, 0.6, seed=0)
+    assert len(masks) == 5
+    for mask in masks:
+        assert mask.sum() == 60
+    assert not all(np.array_equal(masks[0], m) for m in masks[1:])
+
+
+def test_forest_subsets_validation():
+    with pytest.raises(ValueError):
+        forest_subsets(10, 2, 0.0, seed=0)
+
+
+def test_rf_classification_beats_single_tree(classification_data):
+    X, y = classification_data
+    train, test = slice(0, 300), slice(300, None)
+    rf = RandomForest("classification", n_trees=10, seed=1).fit(X[train], y[train])
+    rf_acc = accuracy(rf.predict(X[test]), y[test])
+    assert rf_acc > 1 / 3  # comfortably above chance
+
+
+def test_rf_regression_is_mean_of_trees(regression_data):
+    X, y = regression_data
+    rf = RandomForest("regression", n_trees=4, seed=2).fit(X, y)
+    per_tree = np.stack([m.predict(X[:10]) for m in rf.models])
+    assert np.allclose(rf.predict(X[:10]), per_tree.mean(axis=0))
+
+
+def test_rf_validation():
+    with pytest.raises(ValueError):
+        RandomForest(n_trees=0)
+    with pytest.raises(RuntimeError):
+        RandomForest().predict(np.zeros((1, 2)))
+
+
+def test_rf_reproducible(classification_data):
+    X, y = classification_data
+    a = RandomForest("classification", n_trees=3, seed=7).fit(X, y)
+    b = RandomForest("classification", n_trees=3, seed=7).fit(X, y)
+    assert np.array_equal(a.predict(X), b.predict(X))
+
+
+def test_gbdt_regression_improves_with_rounds(regression_data):
+    X, y = regression_data
+    short = GBDTRegressor(n_rounds=1, params=TreeParams(max_depth=3)).fit(X, y)
+    long = GBDTRegressor(n_rounds=10, params=TreeParams(max_depth=3)).fit(X, y)
+    assert mean_squared_error(long.predict(X), y) < mean_squared_error(
+        short.predict(X), y
+    )
+
+
+def test_gbdt_classification_beats_chance(classification_data):
+    X, y = classification_data
+    model = GBDTClassifier(n_rounds=4, params=TreeParams(max_depth=3)).fit(X, y)
+    assert accuracy(model.predict(X), y) > 0.5
+
+
+def test_gbdt_predict_proba_rows_sum_to_one(classification_data):
+    X, y = classification_data
+    model = GBDTClassifier(n_rounds=2).fit(X[:100], y[:100])
+    proba = model.predict_proba(X[:20])
+    assert proba.shape == (20, 3)
+    assert np.allclose(proba.sum(axis=1), 1.0)
+
+
+def test_gbdt_validation():
+    with pytest.raises(ValueError):
+        GBDTRegressor(n_rounds=0)
+    with pytest.raises(ValueError):
+        GBDTRegressor(learning_rate=0.0)
+    with pytest.raises(ValueError):
+        GBDTClassifier(n_rounds=0)
+    with pytest.raises(RuntimeError):
+        GBDTRegressor().predict(np.zeros((1, 2)))
+    with pytest.raises(RuntimeError):
+        GBDTClassifier().predict(np.zeros((1, 2)))
+
+
+def test_softmax_rows():
+    scores = np.array([[0.0, 0.0], [100.0, 0.0]])
+    probs = softmax_rows(scores)
+    assert np.allclose(probs[0], [0.5, 0.5])
+    assert probs[1, 0] > 0.999

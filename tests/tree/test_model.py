@@ -1,0 +1,123 @@
+"""Tree structure utilities: traversal, leaf ordering, paths (§4.3 needs)."""
+
+import numpy as np
+import pytest
+
+from repro.tree.model import DecisionTreeModel, TreeNode
+
+
+def build_example():
+    """The paper's Figure 3a shape: 3 internal nodes, 4 leaves."""
+    leaf = lambda d, p: TreeNode(is_leaf=True, depth=d, prediction=p)  # noqa: E731
+    n_left = TreeNode(
+        is_leaf=False, depth=1, owner=1, feature=0, threshold=0.5,
+        left=leaf(2, 2), right=leaf(2, 1),
+    )
+    n_right = TreeNode(
+        is_leaf=False, depth=1, owner=2, feature=0, threshold=-1.0,
+        left=leaf(2, 1), right=leaf(2, 0),
+    )
+    root = TreeNode(
+        is_leaf=False, depth=0, owner=0, feature=0, threshold=0.0,
+        left=n_left, right=n_right,
+    )
+    return DecisionTreeModel(root, "classification", 3)
+
+
+def test_internal_count_and_leaf_count():
+    model = build_example()
+    assert model.n_internal == 3
+    assert len(model.leaves()) == 4  # t + 1
+
+
+def test_leaf_order_is_left_to_right():
+    model = build_example()
+    assert model.leaf_label_vector() == [2, 1, 1, 0]
+
+
+def test_leaf_paths_directions():
+    model = build_example()
+    paths = model.leaf_paths()
+    assert len(paths) == 4
+    # First leaf: root-left, then left-child-left.
+    assert [direction for _, direction in paths[0]] == [0, 0]
+    assert [direction for _, direction in paths[3]] == [1, 1]
+    # Each path's last node ownership matches construction.
+    assert paths[0][-1][0].owner == 1
+    assert paths[3][-1][0].owner == 2
+
+
+def test_iter_nodes_visits_everything():
+    model = build_example()
+    assert len(list(model.iter_nodes())) == 7
+
+
+def test_max_depth():
+    assert build_example().max_depth == 2
+
+
+def test_predict_row_walks_thresholds():
+    model = build_example()
+    # -0.1: root-left (<= 0), then -0.1 <= 0.5 -> first leaf (2).
+    assert model.predict_row(np.array([-0.1])) == 2
+    # 0.6: root-left fails? 0.6 > 0 -> right node; 0.6 > -1 -> last leaf (0).
+    assert model.predict_row(np.array([0.6])) == 0
+    # -2.0: root-left, -2.0 <= 0.5 -> first leaf (2).
+    assert model.predict_row(np.array([-2.0])) == 2
+
+
+def test_global_feature_indexing():
+    leaf = lambda p: TreeNode(is_leaf=True, depth=1, prediction=p)  # noqa: E731
+    root = TreeNode(
+        is_leaf=False, depth=0, owner=1, feature=0, global_feature=2,
+        threshold=0.0, left=leaf(0), right=leaf(1),
+    )
+    model = DecisionTreeModel(root, "classification", 2)
+    # The row is indexed at the GLOBAL column 2, not local 0.
+    assert model.predict_row(np.array([9.0, 9.0, -1.0])) == 0
+    assert model.predict_row(np.array([-9.0, -9.0, 1.0])) == 1
+
+
+def test_hidden_model_prediction_rejected():
+    leaf = TreeNode(is_leaf=True, depth=1, prediction=None)
+    root = TreeNode(
+        is_leaf=False, depth=0, owner=0, feature=0, threshold=None,
+        left=leaf, right=TreeNode(is_leaf=True, depth=1, prediction=None),
+    )
+    model = DecisionTreeModel(root, "classification", 2)
+    with pytest.raises(ValueError):
+        model.predict_row(np.array([1.0]))
+
+
+def test_hidden_leaf_rejected():
+    root = TreeNode(
+        is_leaf=False, depth=0, owner=0, feature=0, threshold=0.0,
+        left=TreeNode(is_leaf=True, depth=1, prediction=None),
+        right=TreeNode(is_leaf=True, depth=1, prediction=1),
+    )
+    model = DecisionTreeModel(root, "classification", 2)
+    with pytest.raises(ValueError):
+        model.predict_row(np.array([-1.0]))
+
+
+def test_children_accessor():
+    model = build_example()
+    left, right = model.root.children()
+    assert left.owner == 1 and right.owner == 2
+    with pytest.raises(ValueError):
+        model.leaves()[0].children()
+
+
+def test_model_validation():
+    leaf = TreeNode(is_leaf=True, depth=0, prediction=1)
+    with pytest.raises(ValueError):
+        DecisionTreeModel(leaf, "clustering")
+    with pytest.raises(ValueError):
+        DecisionTreeModel(leaf, "classification", n_classes=1)
+
+
+def test_describe_and_signature():
+    model = build_example()
+    text = model.describe()
+    assert "client 1" in text and "leaf -> 2" in text
+    assert model.structure_signature() == build_example().structure_signature()

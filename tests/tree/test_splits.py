@@ -1,0 +1,57 @@
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.tree.splits import candidate_splits, candidate_splits_matrix
+
+
+def test_few_distinct_values_use_midpoints():
+    col = np.array([1.0, 2.0, 2.0, 4.0])
+    assert candidate_splits(col, 8) == [1.5, 3.0]
+
+
+def test_constant_column_has_no_splits():
+    assert candidate_splits(np.array([5.0, 5.0, 5.0]), 4) == []
+
+
+def test_single_value():
+    assert candidate_splits(np.array([1.0]), 4) == []
+
+
+def test_respects_max_splits():
+    col = np.arange(100, dtype=float)
+    splits = candidate_splits(col, 8)
+    assert 1 <= len(splits) <= 8
+
+
+def test_rejects_zero_max_splits():
+    with pytest.raises(ValueError):
+        candidate_splits(np.array([1.0, 2.0]), 0)
+
+
+@given(
+    values=st.lists(
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+        min_size=2,
+        max_size=60,
+    ),
+    b=st.integers(min_value=1, max_value=16),
+)
+def test_splits_are_strictly_inside_range_and_sorted(values, b):
+    col = np.array(values)
+    splits = candidate_splits(col, b)
+    assert len(splits) <= b
+    assert splits == sorted(splits)
+    for t in splits:
+        assert col.min() < t < col.max()
+        # every threshold separates at least one sample from another
+        assert (col <= t).any() and (col > t).any()
+
+
+def test_matrix_helper():
+    X = np.column_stack([np.arange(10.0), np.ones(10)])
+    grid = candidate_splits_matrix(X, 4)
+    assert len(grid) == 2
+    assert len(grid[0]) == 4
+    assert grid[1] == []
