@@ -1,14 +1,19 @@
 """Primitive micro-benchmarks: the Ce / Cd / Cs / Cc constants (paper §6).
 
 Measures the four primitive operation classes of Table 2 on this machine,
-for the key sizes and party counts the other benches use.  Run standalone
-for the calibration table, or under pytest-benchmark for per-op statistics:
+for the key sizes and party counts the other benches use, and compares the
+seed's serial crypto path against the batch engine (CRT decryption,
+obfuscator pool).  Run standalone for the tables, with ``--smoke`` for the
+fast CI regression check, or under pytest-benchmark for per-op statistics:
 
     python benchmarks/bench_primitives.py
+    python benchmarks/bench_primitives.py --smoke
     pytest benchmarks/bench_primitives.py --benchmark-only
 """
 
+import argparse
 import sys
+import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
@@ -16,6 +21,9 @@ sys.path.insert(0, str(Path(__file__).parent))
 import pytest
 
 from common import calibrated_costs, print_table
+from repro.analysis import opcount
+from repro.crypto import PaillierEncoder, generate_keypair
+from repro.crypto.batch import BatchCryptoEngine
 from repro.crypto.threshold import generate_threshold_keypair
 from repro.mpc import FixedPointOps, MPCEngine, comparison
 
@@ -46,9 +54,35 @@ def test_ce_encryption(benchmark, bundle):
     benchmark(lambda: bundle.public_key.encrypt(42))
 
 
+def test_ce_batched_vector_encryption(benchmark, bundle):
+    """Vector encryption against a warm obfuscator pool."""
+    engine = BatchCryptoEngine(bundle.public_key, pool_size=4096)
+    values = list(range(64))
+    engine.pool.precompute(4096)
+
+    def run():
+        if len(engine.pool) < len(values):
+            engine.pool.precompute(4096)
+        return engine.encrypt_vector(values)
+
+    benchmark(run)
+
+
 def test_cd_threshold_decryption(benchmark, bundle):
     ct = bundle.public_key.encrypt(99)
     benchmark(lambda: bundle.joint_decrypt(ct))
+
+
+def test_cd_crt_decryption(benchmark, bundle):
+    ct = bundle.public_key.encrypt(99)
+    sk = bundle._private_key
+    benchmark(lambda: sk.raw_decrypt(ct.raw))
+
+
+def test_cd_classic_decryption(benchmark, bundle):
+    ct = bundle.public_key.encrypt(99)
+    sk = bundle._private_key
+    benchmark(lambda: sk.raw_decrypt_classic(ct.raw))
 
 
 def test_cs_beaver_multiplication(benchmark, mpc):
@@ -75,7 +109,103 @@ def test_secure_exponential(benchmark, mpc):
     benchmark(lambda: fx.exp(a))
 
 
+# ---------------------------------------------------------------------------
+# serial vs batched report (the batch-engine acceptance numbers)
+# ---------------------------------------------------------------------------
+
+
+def _best_of(fn, repeats: int) -> float:
+    """Per-call seconds, best of ``repeats`` (robust to scheduler noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def batch_report(
+    keysize: int = 512, vector: int = 64, repeats: int = 20, smoke: bool = False
+) -> dict[str, float]:
+    """Compare the seed's serial crypto path against the batch engine.
+
+    Returns the speedup factors; in smoke mode the caller asserts on them.
+    """
+    pk, sk = generate_keypair(keysize)
+
+    # -- Cd: classic single-exponentiation decrypt vs CRT decrypt ----------
+    ct = pk.encrypt(123456789)
+    t_classic = _best_of(lambda: sk.raw_decrypt_classic(ct.raw), repeats)
+    t_crt = _best_of(lambda: sk.raw_decrypt(ct.raw), repeats)
+    crt_speedup = t_classic / t_crt
+
+    # -- Ce: serial vector encryption vs batched (warm obfuscator pool) ----
+    values = [float(i) - vector / 2 for i in range(vector)]
+    encoder = PaillierEncoder(pk)
+    engine = BatchCryptoEngine(pk, pool_size=vector * (repeats + 1))
+    engine.pool.precompute(vector * (repeats + 1))  # idle-time precompute
+
+    t_serial = _best_of(lambda: [encoder.encrypt(v) for v in values], repeats)
+    t_batched = _best_of(lambda: engine.encrypt_vector(values), repeats)
+    enc_speedup = t_serial / t_batched
+
+    # -- op-count parity: identical Ce tallies in both modes ---------------
+    with opcount.counting() as serial_ops:
+        serial_cts = [encoder.encrypt(v) for v in values]
+    engine.pool.precompute(vector)
+    with opcount.counting() as batched_ops:
+        batched_cts = engine.encrypt_vector(values)
+    parity = serial_ops == batched_ops
+    roundtrip = [sk.decrypt(c.ciphertext) for c in batched_cts] == [
+        sk.decrypt(c.ciphertext) for c in serial_cts
+    ]
+
+    print_table(
+        f"Serial vs batched crypto engine (keysize={keysize}, vector={vector})",
+        ["operation", "serial (ms)", "batched (ms)", "speedup"],
+        [
+            ["raw_decrypt", t_classic * 1e3, t_crt * 1e3, f"{crt_speedup:.2f}x"],
+            [
+                f"encrypt x{vector}",
+                t_serial * 1e3,
+                t_batched * 1e3,
+                f"{enc_speedup:.2f}x",
+            ],
+        ],
+    )
+    print(
+        f"op-count parity serial vs batched: {'OK' if parity else 'MISMATCH'} "
+        f"({serial_ops} vs {batched_ops}); "
+        f"plaintext round-trip: {'OK' if roundtrip else 'MISMATCH'}"
+    )
+
+    if smoke:
+        assert parity, f"op-count tallies diverged: {serial_ops} vs {batched_ops}"
+        assert roundtrip, "batched ciphertexts decrypt differently"
+        assert crt_speedup >= 2.0, (
+            f"CRT decryption speedup {crt_speedup:.2f}x below the 2x floor"
+        )
+        assert enc_speedup >= 1.5, (
+            f"batched encryption speedup {enc_speedup:.2f}x below the 1.5x floor"
+        )
+        print("SMOKE OK: CRT >= 2x, batched encryption >= 1.5x, tallies equal")
+    return {"crt": crt_speedup, "encrypt": enc_speedup}
+
+
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fast CI check: assert the batch-engine speedup floors and "
+        "op-count parity, skip the full calibration table",
+    )
+    args = parser.parse_args()
+
+    if args.smoke:
+        batch_report(keysize=512, vector=32, repeats=10, smoke=True)
+        return
+
     rows = []
     for m in (2, 3, 4):
         for keysize in (256, 512):
@@ -91,6 +221,7 @@ def main() -> None:
     )
     print("\nShape check (paper §8.3): Cd and Cc dominate Ce and Cs — the "
           "protocols batch decryptions and avoid comparisons accordingly.")
+    batch_report()
 
 
 if __name__ == "__main__":

@@ -60,6 +60,8 @@ def build_context(
     seed: int = 7,
     classes: int = DEFAULTS["classes"],
     gain_mode: str = "paper",
+    batch_crypto: bool = True,
+    crypto_workers: int = 0,
 ) -> PivotContext:
     d = m * d_bar
     if task == "classification":
@@ -76,6 +78,8 @@ def build_context(
         protocol=protocol,
         gain_mode=gain_mode,
         seed=seed,
+        batch_crypto=batch_crypto,
+        crypto_workers=crypto_workers,
     )
     return PivotContext(partition, config)
 

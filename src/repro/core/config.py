@@ -50,6 +50,15 @@ class PivotConfig:
     dp: DPConfig | None = None
     authenticated_mpc: bool = False  # SPDZ MACs + verified conversions (§9.1)
     seed: int | None = None
+    #: Batch crypto engine (repro.crypto.batch): False reproduces the seed's
+    #: fully serial behaviour (no obfuscator pool, no CRT fast decryption).
+    #: Op counts are identical either way; only wall time changes.
+    batch_crypto: bool = True
+    #: Worker processes for the batch engine's exponentiation fan-out
+    #: (0 = serial/deterministic, the test default).
+    crypto_workers: int = 0
+    #: Obfuscator pool refill chunk (0 disables mask precomputation).
+    crypto_pool_size: int = 256
 
     def __post_init__(self) -> None:
         if self.gain_mode not in ("paper", "reduced"):
@@ -58,6 +67,10 @@ class PivotConfig:
             raise ValueError(f"unknown protocol {self.protocol!r}")
         if self.keysize < 128:
             raise ValueError("keysize must be at least 128 bits")
+        if self.crypto_workers < 0:
+            raise ValueError("crypto_workers must be >= 0")
+        if self.crypto_pool_size < 0:
+            raise ValueError("crypto_pool_size must be >= 0")
         self.tree.validate()
         if self.protocol == "enhanced":
             self.validate_enhanced_depth()

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.config import PivotConfig
+from repro.crypto.batch import BatchCryptoEngine
 from repro.crypto.encoding import EncryptedNumber, PaillierEncoder
 from repro.crypto.threshold import ThresholdPaillier, generate_threshold_keypair
 from repro.data.partition import VerticalPartition
@@ -69,8 +70,17 @@ class PivotContext:
         self.config = config or PivotConfig()
         m = partition.n_clients
         self.threshold = generate_threshold_keypair(m, self.config.keysize)
+        self.threshold.fast_decrypt = self.config.batch_crypto
         self.encoder = PaillierEncoder(
             self.threshold.public_key, frac_bits=self.config.frac_bits
+        )
+        #: Batched, CRT-accelerated crypto engine shared by every hot path.
+        self.batch = BatchCryptoEngine(
+            self.threshold.public_key,
+            encoder=self.encoder,
+            threshold=self.threshold,
+            workers=self.config.crypto_workers if self.config.batch_crypto else 0,
+            pool_size=self.config.crypto_pool_size if self.config.batch_crypto else 0,
         )
         self.engine = MPCEngine(
             m,
@@ -134,7 +144,7 @@ class PivotContext:
     # -- crypto helpers with accounting ------------------------------------------
 
     def encrypt_indicator(self, bits: np.ndarray) -> list[EncryptedNumber]:
-        return [self.encoder.encrypt(int(b)) for b in bits]
+        return self.batch.encrypt_vector([int(b) for b in bits], exponent=0)
 
     def joint_decrypt(self, value: EncryptedNumber, tag: str, wrapped: bool = False) -> float:
         """All-client decryption of a protocol output; logged as revealed."""
@@ -157,7 +167,10 @@ class PivotContext:
         for _ in values:
             self.bus.broadcast(0, self.ciphertext_bytes * (m - 1), tag="mpc-convert")
         self.bus.round(2)
-        return ciphers_to_shares(values, self.threshold, self.fx, self.conversions)
+        return ciphers_to_shares(
+            values, self.threshold, self.fx, self.conversions,
+            batch_engine=self.batch,
+        )
 
     def to_cipher(self, value: SharedValue, exponent: int | None = None) -> EncryptedNumber:
         """Reverse conversion (§5.2), with bus accounting."""
@@ -179,6 +192,23 @@ class PivotContext:
         opened = self.fx.open(value) if fixed_point else self.engine.open(value)
         self.revealed.append((tag, opened))
         return opened
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the batch engine's worker processes (no-op when serial).
+
+        Contexts are also reaped by a GC finalizer, but benchmarks that
+        build many contexts with ``crypto_workers > 0`` should close (or
+        use ``with PivotContext(...) as ctx``) to bound live processes.
+        """
+        self.batch.close()
+
+    def __enter__(self) -> "PivotContext":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- reporting ----------------------------------------------------------------
 

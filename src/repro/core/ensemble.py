@@ -129,7 +129,7 @@ def _encrypted_eta(
     ctx = context
     slices = _local_slices(ctx, row)
     paths = model.leaf_paths()
-    eta = [ctx.encoder.encrypt(1) for _ in paths]
+    eta = ctx.batch.encrypt_vector([1] * len(paths), exponent=0)
     for client_index in reversed(range(ctx.n_clients)):
         local = slices[client_index]
         for leaf_pos, path in enumerate(paths):
@@ -188,9 +188,8 @@ class PivotGBDT:
         self.label_scale = float(np.max(np.abs(labels))) or 1.0
         normalized = labels / self.label_scale
         rows = _global_rows(ctx)
-        encoder = ctx.encoder
-        # [Y]: the encrypted (normalised) ground-truth labels.
-        label_cts = [encoder.encrypt(float(y)) for y in normalized]
+        # [Y]: the encrypted (normalised) ground-truth labels, batched.
+        label_cts = ctx.batch.encrypt_vector([float(y) for y in normalized])
         estimate: list[EncryptedNumber] | None = None
         self.models = []
         for round_index in range(self.n_rounds):
@@ -226,10 +225,9 @@ class PivotGBDT:
         labels = np.asarray(ctx.partition.labels, dtype=np.int64)
         self.n_classes = max(2, int(labels.max()) + 1)
         rows = _global_rows(ctx)
-        encoder = ctx.encoder
         onehot = np.eye(self.n_classes)[labels]
         onehot_cts = [
-            [encoder.encrypt(float(onehot[t, k])) for t in range(len(labels))]
+            ctx.batch.encrypt_vector([float(onehot[t, k]) for t in range(len(labels))])
             for k in range(self.n_classes)
         ]
         scores: list[list[EncryptedNumber]] | None = None  # [class][sample]

@@ -63,10 +63,10 @@ class PlaintextLabelProvider:
         result = []
         for beta in self.betas:
             if self.task == "classification":
-                gamma = [a * int(b) for a, b in zip(alpha, beta)]
+                scalars = [int(b) for b in beta]
             else:
-                encoded = [ctx.encoder.encode(float(b)) for b in beta]
-                gamma = [a * e for a, e in zip(alpha, encoded)]
+                scalars = [ctx.encoder.encode(float(b)) for b in beta]
+            gamma = ctx.batch.scale_vector(alpha, scalars)
             result.append(gamma)
             ctx.bus.broadcast(
                 ctx.super_client,

@@ -53,8 +53,8 @@ def predict_basic_encrypted(
     leaves = model.leaves()
     paths = model.leaf_paths()
 
-    # u_m initialises [η] = ([1], ..., [1]) (Algorithm 4 line 3).
-    eta = [ctx.encoder.encrypt(1) for _ in leaves]
+    # u_m initialises [η] = ([1], ..., [1]) (Algorithm 4 line 3), batched.
+    eta = ctx.batch.encrypt_vector([1] * len(leaves), exponent=0)
     for client_index in reversed(range(ctx.n_clients)):
         local = slices[client_index]
         for leaf_pos, path in enumerate(paths):

@@ -110,8 +110,8 @@ class PivotDecisionTree:
         gammas = self.provider.gammas(alpha, node_gammas)
 
         # Node-level encrypted statistics: n on this node + per-vector sums.
-        count_ct = _homomorphic_sum(alpha)
-        total_cts = [_homomorphic_sum(g) for g in gammas]
+        count_ct = ctx.batch.sum_ciphertexts(alpha)
+        total_cts = [ctx.batch.sum_ciphertexts(g) for g in gammas]
         shares = ctx.to_shares([count_ct] + total_cts)
         n_node, totals = shares[0], shares[1:]
         node_stats = NodeStats(n_node, totals)
@@ -196,29 +196,30 @@ class PivotDecisionTree:
         alpha: list[EncryptedNumber],
         gammas: list[list[EncryptedNumber]],
     ) -> list[EncryptedNumber]:
-        """Each client's local homomorphic dot products (Eq. 7 / Eq. 9).
+        """Each client's local homomorphic dot products (Eq. 7 / Eq. 9),
+        batched through the crypto engine (one fan-out over all splits).
 
         The malicious-model extension overrides this to attach and verify
         POHDP proofs (§9.1.2).
         """
         ctx = self.ctx
-        stat_cts: list[EncryptedNumber] = []
+        tasks: list[tuple[list[int], list[EncryptedNumber]]] = []
         for client_idx, feature, split in identifiers:
             client = ctx.clients[client_idx]
             v_left = client.indicator(feature, split)
             v_right = 1 - v_left
-            stat_cts.append(encrypted_dot_product(list(v_left), alpha))
-            stat_cts.append(encrypted_dot_product(list(v_right), alpha))
+            tasks.append((list(v_left), alpha))
+            tasks.append((list(v_right), alpha))
             for gamma in gammas:
-                stat_cts.append(encrypted_dot_product(list(v_left), gamma))
-                stat_cts.append(encrypted_dot_product(list(v_right), gamma))
+                tasks.append((list(v_left), gamma))
+                tasks.append((list(v_right), gamma))
             ctx.bus.broadcast(
                 client_idx,
                 ctx.ciphertext_bytes * (2 + 2 * len(gammas)),
                 tag="split-stats",
             )
         ctx.bus.round()
-        return stat_cts
+        return ctx.batch.batch_dot_products(tasks)
 
     # ------------------------------------------------------------------
     # model update: basic protocol (§4.1 "Model update")
@@ -242,16 +243,18 @@ class PivotDecisionTree:
         threshold = owner.split_values[feature][split]
         v_left = owner.indicator(feature, split)
 
-        alpha_left = _mask_by_plaintext(alpha, v_left)
-        alpha_right = _mask_by_plaintext(alpha, 1 - v_left)
+        # Element-wise masking by the plaintext 0/1 vector, re-randomised
+        # before broadcast (§4.1 model update) — pooled masks, batched.
+        alpha_left = ctx.batch.mask_vector(alpha, v_left)
+        alpha_right = ctx.batch.mask_vector(alpha, 1 - v_left)
         ctx.bus.broadcast(
             owner_idx, 2 * ctx.ciphertext_bytes * len(alpha), tag="mask-vector"
         )
         ctx.bus.round()
         gam_left = gam_right = None
         if self.provider.rides_with_alpha:
-            gam_left = [_mask_by_plaintext(g, v_left) for g in gammas]
-            gam_right = [_mask_by_plaintext(g, 1 - v_left) for g in gammas]
+            gam_left = [ctx.batch.mask_vector(g, v_left) for g in gammas]
+            gam_right = [ctx.batch.mask_vector(g, 1 - v_left) for g in gammas]
 
         node = TreeNode(
             is_leaf=False,
@@ -312,12 +315,12 @@ class PivotDecisionTree:
         # 0/1 vector, so it is encrypted at exponent 0.
         lam_cipher = [ctx.to_cipher(lam, exponent=0) for lam in lam_shares]
 
-        # Private split selection (Theorem 2): [v] = V (x) [λ].
+        # Private split selection (Theorem 2): [v] = V (x) [λ], one batched
+        # fan-out over the n rows of the indicator matrix.
         matrix = owner.indicator_matrix(feature)  # n x n'
-        v_left_enc = [
-            encrypted_dot_product(list(row.astype(np.int64)), lam_cipher)
-            for row in matrix
-        ]
+        v_left_enc = ctx.batch.batch_dot_products(
+            [(list(row.astype(np.int64)), lam_cipher) for row in matrix]
+        )
         v_right_enc = [(-v) + 1 for v in v_left_enc]
         ctx.bus.round()
 
@@ -372,21 +375,30 @@ class PivotDecisionTree:
         (client 1 holds e - r_1, the others -r_i); every client multiplies
         her integer share into [v_j] homomorphically and the owner sums the
         results.  One threshold decryption per element — the O(n)·Cd term
-        that dominates the enhanced protocol's cost (§6, §8.3.1).
+        that dominates the enhanced protocol's cost (§6, §8.3.1) — so the
+        mask encryptions and decryptions run through the batch engine.
         """
         import secrets
 
         ctx, fx = self.ctx, self.fx
-        pk = ctx.threshold.public_key
         m = ctx.n_clients
-        result = []
-        for a_ct, v_ct in zip(alpha, v_enc):
-            masks = [secrets.randbits(fx.k + ctx.engine.kappa) for _ in range(m)]
+        mask_lists = [
+            [secrets.randbits(fx.k + ctx.engine.kappa) for _ in range(m)]
+            for _ in alpha
+        ]
+        mask_cts = ctx.batch.encrypt_ciphertexts(
+            [r for masks in mask_lists for r in masks]
+        )
+        masked_cts = []
+        for j, a_ct in enumerate(alpha):
             masked = a_ct.ciphertext
-            for r in masks:
-                masked = masked + pk.encrypt(r)
-            e = ctx.threshold.joint_decrypt(masked)
-            ctx.conversions.threshold_decryptions += 1
+            for mask_ct in mask_cts[j * m : (j + 1) * m]:
+                masked = masked + mask_ct
+            masked_cts.append(masked)
+        decrypted = ctx.batch.threshold_decrypt_batch(masked_cts)
+        ctx.conversions.threshold_decryptions += len(masked_cts)
+        result = []
+        for e, masks, a_ct, v_ct in zip(decrypted, mask_lists, alpha, v_enc):
             int_shares = [e - masks[0]] + [-r for r in masks[1:]]
             combined = None
             for share in int_shares:
@@ -458,21 +470,6 @@ class PivotDecisionTree:
             count = len(split.left)
             split.left = masked[2 : 2 + count]
             split.right = masked[2 + count :]
-
-
-def _homomorphic_sum(values: list[EncryptedNumber]) -> EncryptedNumber:
-    total = values[0]
-    for v in values[1:]:
-        total = total + v
-    return total
-
-
-def _mask_by_plaintext(
-    values: list[EncryptedNumber], bits: np.ndarray
-) -> list[EncryptedNumber]:
-    """Element-wise homomorphic multiplication by a plaintext 0/1 vector,
-    re-randomised before broadcast (§4.1 model update)."""
-    return [(v * int(b)).obfuscate() for v, b in zip(values, bits)]
 
 
 def _child_available(

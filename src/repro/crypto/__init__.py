@@ -1,6 +1,7 @@
 """Cryptographic substrate: Paillier, threshold Paillier, fixed-point
 encoding, and the Σ-protocol zero-knowledge proofs (paper §2.1, §9.1.1)."""
 
+from repro.crypto.batch import BatchCryptoEngine, ObfuscatorPool
 from repro.crypto.encoding import EncodedNumber, EncryptedNumber, PaillierEncoder
 from repro.crypto.paillier import (
     Ciphertext,
@@ -16,9 +17,11 @@ from repro.crypto.threshold import (
 )
 
 __all__ = [
+    "BatchCryptoEngine",
     "Ciphertext",
     "EncodedNumber",
     "EncryptedNumber",
+    "ObfuscatorPool",
     "PaillierEncoder",
     "PaillierPrivateKey",
     "PaillierPublicKey",

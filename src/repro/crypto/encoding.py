@@ -22,6 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from fractions import Fraction
 
+import numpy as np
+
 from repro.crypto.paillier import Ciphertext, PaillierPublicKey, dot_product
 
 __all__ = ["EncodedNumber", "PaillierEncoder", "EncryptedNumber"]
@@ -65,7 +67,16 @@ class PaillierEncoder:
     # -- encode / decode -------------------------------------------------
 
     def encode(self, value: float | int, exponent: int | None = None) -> EncodedNumber:
-        """Encode ``value``; integers get exponent 0 unless overridden."""
+        """Encode ``value``; integer-valued types get exponent 0 unless
+        overridden.
+
+        Inputs are normalised first so the exponent choice is type-robust:
+        ``bool``/``np.bool_`` and numpy integer scalars encode exactly at
+        exponent 0 (the seed used ``isinstance(value, int)``, silently
+        giving ``np.int64`` a fractional-bit encoding), and numpy floats
+        become Python floats (``Fraction`` rejects e.g. ``np.float32``).
+        """
+        value = _normalize_scalar(value)
         if exponent is None:
             exponent = 0 if isinstance(value, int) else -self.frac_bits
         scaled = Fraction(value) * (Fraction(2) ** (-exponent))
@@ -96,6 +107,17 @@ class PaillierEncoder:
 
     def zero(self, exponent: int = 0) -> "EncryptedNumber":
         return self.encrypt(0, exponent=exponent, obfuscate=False)
+
+
+def _normalize_scalar(value: float | int) -> float | int:
+    """Collapse bool and numpy scalar types onto Python int/float."""
+    if isinstance(value, (bool, np.bool_)):
+        return int(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return value
 
 
 class EncryptedNumber:
@@ -159,12 +181,14 @@ class EncryptedNumber:
     def __mul__(self, scalar: "int | float | EncodedNumber") -> "EncryptedNumber":
         if isinstance(scalar, EncodedNumber):
             encoded = scalar
-        elif isinstance(scalar, int):
-            encoded = EncodedNumber(scalar, 0)
-        elif isinstance(scalar, float):
-            encoded = self.encoder.encode(scalar)
         else:
-            return NotImplemented
+            scalar = _normalize_scalar(scalar)
+            if isinstance(scalar, int):
+                encoded = EncodedNumber(scalar, 0)
+            elif isinstance(scalar, float):
+                encoded = self.encoder.encode(scalar)
+            else:
+                return NotImplemented
         return EncryptedNumber(
             self.encoder,
             self.ciphertext * encoded.encoding,

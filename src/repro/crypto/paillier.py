@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import secrets
 from dataclasses import dataclass
+from functools import cached_property
 
 from repro.analysis import opcount
 from repro.crypto import primes
@@ -68,14 +69,18 @@ class PaillierPublicKey:
         m = plaintext % self.n
         return (1 + self.n * m) % self.n_squared
 
-    def random_obfuscator(self) -> int:
-        """Return r^n mod n^2 for a uniformly random r in Z_n^*."""
+    def random_obfuscator_base(self) -> int:
+        """Return a uniformly random r in Z_n^* (the mask base)."""
         while True:
             r = secrets.randbelow(self.n - 1) + 1
             # gcd(r, n) != 1 happens with negligible probability (it would
             # factor n); retrying keeps the distribution uniform on Z_n^*.
             if _gcd(r, self.n) == 1:
-                return pow(r, self.n, self.n_squared)
+                return r
+
+    def random_obfuscator(self) -> int:
+        """Return r^n mod n^2 for a uniformly random r in Z_n^*."""
+        return pow(self.random_obfuscator_base(), self.n, self.n_squared)
 
     def encrypt(self, plaintext: int, obfuscate: bool = True) -> "Ciphertext":
         """Encrypt a (signed) integer plaintext."""
@@ -106,14 +111,72 @@ class PaillierPublicKey:
 
 
 @dataclass(frozen=True)
+class _CrtParams:
+    """Precomputed constants for CRT decryption mod p^2 / q^2."""
+
+    p: int
+    q: int
+    p_squared: int
+    q_squared: int
+    hp: int  # L_p(g^{p-1} mod p^2)^-1 mod p
+    hq: int  # L_q(g^{q-1} mod q^2)^-1 mod q
+    p_inverse: int  # p^-1 mod q, for Garner recombination
+
+
+@dataclass(frozen=True)
 class PaillierPrivateKey:
-    """Non-threshold private key (lambda, mu); used by tests and the dealer."""
+    """Non-threshold private key (lambda, mu); used by tests and the dealer.
+
+    When the prime factors ``p``/``q`` are retained, :meth:`raw_decrypt`
+    uses the standard CRT acceleration (exponentiate mod p^2 and q^2 with
+    half-size exponents, recombine with Garner's formula) — roughly 3-4x
+    faster than the textbook single exponentiation mod n^2, with identical
+    results.  Keys built without the factors fall back to the classic path.
+    """
 
     public_key: PaillierPublicKey
     lam: int  # lambda(n) = lcm(p-1, q-1)
     mu: int  # (L(g^lambda mod n^2))^-1 mod n
+    p: int | None = None
+    q: int | None = None
+
+    def __post_init__(self) -> None:
+        if (self.p is None) != (self.q is None):
+            raise ValueError("supply both prime factors or neither")
+        if self.p is not None and self.p * self.q != self.public_key.n:
+            raise ValueError("p * q does not match the public modulus")
+
+    @cached_property
+    def _crt(self) -> _CrtParams | None:
+        if self.p is None or self.q is None:
+            return None
+        p, q = self.p, self.q
+        p_squared, q_squared = p * p, q * q
+        g = self.public_key.g
+        hp = pow(_l_function(pow(g, p - 1, p_squared), p), -1, p)
+        hq = pow(_l_function(pow(g, q - 1, q_squared), q), -1, q)
+        return _CrtParams(p, q, p_squared, q_squared, hp, hq, pow(p, -1, q))
 
     def raw_decrypt(self, raw_ciphertext: int) -> int:
+        crt = self._crt
+        if crt is None:
+            return self.raw_decrypt_classic(raw_ciphertext)
+        mp = (
+            _l_function(pow(raw_ciphertext, crt.p - 1, crt.p_squared), crt.p)
+            * crt.hp
+            % crt.p
+        )
+        mq = (
+            _l_function(pow(raw_ciphertext, crt.q - 1, crt.q_squared), crt.q)
+            * crt.hq
+            % crt.q
+        )
+        # Garner: m = mp + p * ((mq - mp) * p^-1 mod q)  in [0, n).
+        return mp + crt.p * ((mq - mp) * crt.p_inverse % crt.q)
+
+    def raw_decrypt_classic(self, raw_ciphertext: int) -> int:
+        """Textbook decryption via one exponentiation mod n^2 (the seed
+        path); kept for CRT equivalence tests and benchmarks."""
         pk = self.public_key
         u = pow(raw_ciphertext, self.lam, pk.n_squared)
         l_of_u = (u - 1) // pk.n
@@ -123,6 +186,11 @@ class PaillierPrivateKey:
         if ciphertext.public_key != self.public_key:
             raise ValueError("ciphertext was encrypted under a different key")
         return self.public_key.to_signed(self.raw_decrypt(ciphertext.raw))
+
+
+def _l_function(x: int, p: int) -> int:
+    """L_p(x) = (x - 1) / p for x = 1 (mod p)."""
+    return (x - 1) // p
 
 
 class Ciphertext:
@@ -175,21 +243,30 @@ class Ciphertext:
         return Ciphertext(pk, pow(self.raw, pk.n - 1, pk.n_squared))
 
     def __sub__(self, other: "Ciphertext | int") -> "Ciphertext":
-        if isinstance(other, Ciphertext):
-            return self + (-other)
         return self + (-other)
 
     def __rsub__(self, other: int) -> "Ciphertext":
         return (-self) + other
 
     def __mul__(self, scalar: int) -> "Ciphertext":
+        """Homomorphic scalar multiplication [k * x] (Eq. 2).
+
+        Scalars 0 and 1 take shortcuts: ``c * 0`` is the *deterministic*
+        encryption of zero (raw 1, no random mask) and ``c * 1`` returns a
+        ciphertext with the same raw value as ``c``.  Like
+        :meth:`PaillierPublicKey.raw_encrypt`, these shortcut ciphertexts
+        are deterministic/linkable and MUST be re-randomised with
+        :meth:`obfuscate` before leaving a party; inside a party they are
+        safe and save an exponentiation (the dominant case in Pivot, whose
+        coefficient vectors are 0/1 indicators).
+        """
         if not isinstance(scalar, int):
             return NotImplemented
         opcount.GLOBAL.ce += 1
         pk = self.public_key
         exponent = scalar % pk.n
         if exponent == 0:
-            return Ciphertext(pk, 1)
+            return Ciphertext(pk, pk.raw_encrypt(0))
         if exponent == 1:
             return Ciphertext(pk, self.raw)
         if exponent == pk.n - 1:  # scalar == -1: modular inverse is cheaper
@@ -257,4 +334,6 @@ def generate_keypair(
     # mu = L(g^lambda mod n^2)^-1 mod n; with g = n+1, g^lambda = 1 + n*lambda,
     # so L(g^lambda) = lambda and mu = lambda^-1 mod n.
     mu = pow(lam, -1, n)
-    return public_key, PaillierPrivateKey(public_key, lam, mu)
+    # Retaining p and q enables CRT-accelerated decryption (see
+    # PaillierPrivateKey); the factors never leave the private key.
+    return public_key, PaillierPrivateKey(public_key, lam, mu, p=p, q=q)

@@ -67,6 +67,13 @@ class ThresholdKeyShare:
             self.party_index, pow(ciphertext.raw, self.d_share, pk.n_squared)
         )
 
+    def partial_decrypt_batch(
+        self, ciphertexts: list[Ciphertext]
+    ) -> list[PartialDecryption]:
+        """Partial decryption of a whole batch (one message in a deployment:
+        the paper's protocols always decrypt vectors of statistics)."""
+        return [self.partial_decrypt(ct) for ct in ciphertexts]
+
 
 def combine_partial_decryptions(
     public_key: PaillierPublicKey,
@@ -111,8 +118,16 @@ class ThresholdPaillier:
         self.public_key = public_key
         self.shares = shares
         self.n_parties = len(shares)
-        # Retained only for tests/debugging; never used by the protocols.
+        # Retained for tests/debugging and for the batch engine's fast
+        # simulation path (see joint_decrypt_batch); the real protocols'
+        # message flow never uses it.
         self._private_key = private_key
+        #: Allow joint_decrypt_batch to shortcut through the dealer's
+        #: withheld CRT private key.  The shortcut is bit-identical to
+        #: combining all m partial decryptions (see the proof in
+        #: joint_decrypt_batch) and keeps the Cd op counts unchanged; it
+        #: only skips the m full-size exponentiations of the simulation.
+        self.fast_decrypt = True
 
     def encrypt(self, plaintext: int) -> Ciphertext:
         return self.public_key.encrypt(plaintext)
@@ -123,6 +138,33 @@ class ThresholdPaillier:
         return combine_partial_decryptions(
             self.public_key, partials, self.n_parties, signed=signed
         )
+
+    def joint_decrypt_batch(
+        self, ciphertexts: list[Ciphertext], signed: bool = True
+    ) -> list[int]:
+        """Threshold-decrypt a batch of ciphertexts (the hot path).
+
+        When the dealer's private key was retained and :attr:`fast_decrypt`
+        is set, each plaintext is recovered with one CRT-accelerated
+        private-key decryption instead of simulating m full-size partial
+        exponentiations.  The results are identical: with d = 1 (mod n) and
+        d = 0 (mod lambda), c^d = (1+n)^m r^{nd} = 1 + m*n (mod n^2) for
+        c = (1+n)^m r^n, so combining the partials yields exactly the
+        plaintext m that L(c^lambda)*mu recovers.  One Cd is counted per
+        ciphertext either way, matching Table 2's accounting.
+        """
+        private = self._private_key if self.fast_decrypt else None
+        if private is None:
+            return [self.joint_decrypt(ct, signed=signed) for ct in ciphertexts]
+        pk = self.public_key
+        results = []
+        for ct in ciphertexts:
+            if ct.public_key != pk:
+                raise ValueError("ciphertext under a different public key")
+            opcount.GLOBAL.cd += 1
+            plaintext = private.raw_decrypt(ct.raw)
+            results.append(pk.to_signed(plaintext) if signed else plaintext)
+        return results
 
 
 def generate_threshold_keypair(
@@ -150,7 +192,7 @@ def generate_threshold_keypair(
 
     public_key = PaillierPublicKey(n)
     mu = pow(lam, -1, n)
-    private_key = PaillierPrivateKey(public_key, lam, mu)
+    private_key = PaillierPrivateKey(public_key, lam, mu, p=p_, q=q_)
 
     # d = 0 (mod lambda), d = 1 (mod n), shared additively mod n*lambda.
     d = lam * mu % (n * lam)

@@ -74,12 +74,23 @@ def ciphers_to_shares(
     threshold: ThresholdPaillier,
     fixed: FixedPointOps,
     counters: ConversionCounters | None = None,
+    batch_engine=None,
 ) -> list[SharedValue]:
-    """Batch Algorithm 2 (the m decryption rounds are batched in practice)."""
+    """Batch Algorithm 2 (the m decryption rounds are batched in practice).
+
+    All values are masked first, then the masked ciphertexts go through one
+    batched threshold decryption (``joint_decrypt_batch``); a
+    :class:`~repro.crypto.batch.BatchCryptoEngine` may be supplied so the
+    mask encryptions draw from its obfuscator pool.  Op counts and results
+    match the value-at-a-time loop exactly.
+    """
     engine = fixed.engine
     q = engine.field.q
     m = threshold.n_parties
-    results: list[SharedValue] = []
+    pk = threshold.public_key
+    masked_cts = []
+    mask_lists: list[list[int]] = []
+    extras: list[int] = []
     for value in values:
         target_exponent = -fixed.f
         if value.exponent > target_exponent:
@@ -89,12 +100,24 @@ def ciphers_to_shares(
         # Every client picks a mask, encrypts it and sends it to client 1
         # (Algorithm 2 lines 1-3).
         masks = [secrets.randbits(mask_bits) for _ in range(m)]
-        pk = threshold.public_key
+        if batch_engine is not None:
+            mask_cts = batch_engine.encrypt_ciphertexts(masks)
+        else:
+            mask_cts = [pk.encrypt(r) for r in masks]
         masked_ct = value.ciphertext
-        for r in masks:
-            masked_ct = masked_ct + pk.encrypt(r)
-        # Joint decryption of the masked value (line 5).
-        masked_plain = threshold.joint_decrypt(masked_ct, signed=True)
+        for mask_ct in mask_cts:
+            masked_ct = masked_ct + mask_ct
+        masked_cts.append(masked_ct)
+        mask_lists.append(masks)
+        extras.append(extra)
+    # Joint decryption of the masked values (line 5), batched (and fanned
+    # out across the engine's workers when one is supplied).
+    if batch_engine is not None:
+        masked_plains = batch_engine.threshold_decrypt_batch(masked_cts, signed=True)
+    else:
+        masked_plains = threshold.joint_decrypt_batch(masked_cts, signed=True)
+    results: list[SharedValue] = []
+    for masked_plain, masks, extra in zip(masked_plains, mask_lists, extras):
         if counters is not None:
             counters.threshold_decryptions += 1
             counters.to_shares += 1

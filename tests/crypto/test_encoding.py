@@ -112,3 +112,42 @@ def test_fraction_roundtrip_exact(encoder):
     # Values exactly representable in 16 fractional bits roundtrip exactly.
     for v in (0.5, -0.25, 1234.0625, -7.75):
         assert encoder.decode(encoder.encode(v)) == v
+
+
+# -- input-type normalisation (regression: np.int64 got fractional bits) --
+
+
+def test_numpy_integer_scalars_encode_exactly(encoder):
+    import numpy as np
+
+    for value in (np.int64(12345), np.int32(-7), np.uint8(255)):
+        enc = encoder.encode(value)
+        assert enc.exponent == 0
+        assert enc.encoding == int(value)
+
+
+def test_bool_inputs_encode_as_exact_integers(encoder):
+    import numpy as np
+
+    for value in (True, False, np.bool_(True), np.bool_(False)):
+        enc = encoder.encode(value)
+        assert enc.exponent == 0
+        assert enc.encoding == int(value)
+
+
+def test_numpy_float_scalars_encode(encoder):
+    import numpy as np
+
+    for value in (np.float64(1.5), np.float32(-0.25)):
+        enc = encoder.encode(value)
+        assert enc.exponent == -encoder.frac_bits
+        assert encoder.decode(enc) == float(value)
+
+
+def test_encrypted_number_times_numpy_scalar(threshold3, encoder):
+    import numpy as np
+
+    prod = encoder.encrypt(3.0) * np.int64(4)
+    assert decrypt_number(threshold3, prod) == 12.0
+    prod_f = encoder.encrypt(2.0) * np.float64(0.5)
+    assert decrypt_number(threshold3, prod_f) == 1.0
