@@ -30,6 +30,8 @@ from repro.mpc.conversion import (
 from repro.mpc.engine import MPCEngine
 from repro.mpc.sharing import SharedValue
 from repro.network.bus import MessageBus
+from repro.network.flows import record_threshold_decrypt
+from repro.network.wire import WireCodec
 from repro.tree.splits import candidate_splits
 
 __all__ = ["PivotClient", "PivotContext"]
@@ -91,7 +93,14 @@ class PivotContext:
         self.fx = FixedPointOps(
             self.engine, k=self.config.mpc_k, f=self.config.frac_bits
         )
-        self.bus = MessageBus(m)
+        self.bus = MessageBus(
+            m,
+            codec=WireCodec(
+                self.threshold.public_key,
+                share_modulus=self.engine.field.q,
+                encoder=self.encoder,
+            ),
+        )
         self.conversions = ConversionCounters()
         self.clients = [
             PivotClient(
@@ -126,7 +135,8 @@ class PivotContext:
 
     @property
     def ciphertext_bytes(self) -> int:
-        return 2 * ((self.threshold.public_key.n.bit_length() + 7) // 8)
+        """Width of one serialized ciphertext (single-sourced in the codec)."""
+        return self.bus.codec.ciphertext_width
 
     def split_identifiers(self, available: list[list[int]]) -> list[tuple[int, int, int]]:
         """Flat enumeration (i, j, s) of all splits of the available features.
@@ -147,9 +157,13 @@ class PivotContext:
         return self.batch.encrypt_vector([int(b) for b in bits], exponent=0)
 
     def joint_decrypt(self, value: EncryptedNumber, tag: str, wrapped: bool = False) -> float:
-        """All-client decryption of a protocol output; logged as revealed."""
-        self.bus.broadcast(0, self.ciphertext_bytes, tag="threshold-decrypt")
-        self.bus.round()
+        """All-client decryption of a protocol output; logged as revealed.
+
+        The flow moves the ciphertext broadcast *and* the m
+        partial-decryption share vectors (the seed accounted only the
+        former), all as real serialized payloads.
+        """
+        record_threshold_decrypt(self.bus, [value], tag="threshold-decrypt")
         if wrapped:
             result = decrypt_shared_cipher(
                 value, self.threshold, self.fx, self.conversions
@@ -161,23 +175,39 @@ class PivotContext:
         self.revealed.append((tag, result))
         return result
 
+    def joint_decrypt_batch(
+        self, values: list[EncryptedNumber], tag: str
+    ) -> list[float]:
+        """Batched all-client decryption: one fan-out for the whole vector.
+
+        Exactly the per-value Ce/Cd op counts and revealed log of calling
+        :meth:`joint_decrypt` in a loop, but a single threshold-decryption
+        message flow (2 rounds instead of 2 per value) — the deployment
+        shape for n-row basic prediction.
+        """
+        if not values:
+            return []
+        record_threshold_decrypt(self.bus, values, tag="threshold-decrypt")
+        raws = self.batch.threshold_decrypt_batch([v.ciphertext for v in values])
+        self.conversions.threshold_decryptions += len(values)
+        results = [raw * 2.0**v.exponent for raw, v in zip(raws, values)]
+        for result in results:
+            self.revealed.append((tag, result))
+        return results
+
     def to_shares(self, values: list[EncryptedNumber]) -> list[SharedValue]:
-        """Algorithm 2 over a batch, with bus accounting."""
-        m = self.n_clients
-        for _ in values:
-            self.bus.broadcast(0, self.ciphertext_bytes * (m - 1), tag="mpc-convert")
-        self.bus.round(2)
+        """Algorithm 2 over a batch; the conversion sends its real payloads
+        (mask ciphertexts, masked batch, partial decryptions) on the bus."""
         return ciphers_to_shares(
             values, self.threshold, self.fx, self.conversions,
-            batch_engine=self.batch,
+            batch_engine=self.batch, bus=self.bus,
         )
 
     def to_cipher(self, value: SharedValue, exponent: int | None = None) -> EncryptedNumber:
-        """Reverse conversion (§5.2), with bus accounting."""
-        self.bus.broadcast(0, self.ciphertext_bytes * self.n_clients, tag="mpc-convert")
-        self.bus.round()
+        """Reverse conversion (§5.2); encrypted shares travel on the bus."""
         return share_to_cipher(
-            value, self.threshold, self.fx, self.conversions, exponent=exponent
+            value, self.threshold, self.fx, self.conversions, exponent=exponent,
+            bus=self.bus,
         )
 
     def open_bit(self, bit: SharedValue, tag: str) -> int:

@@ -141,9 +141,8 @@ def _encrypted_eta(
                 factor &= int((direction == 0) == goes_left)
             eta[leaf_pos] = eta[leaf_pos] * factor
         if client_index > 0:
-            ctx.bus.send(
-                client_index, client_index - 1,
-                ctx.ciphertext_bytes * len(eta), tag="prediction-vector",
+            ctx.bus.send_payload(
+                client_index, client_index - 1, eta, tag="prediction-vector"
             )
     ctx.bus.round()
     return eta

@@ -68,11 +68,7 @@ class PlaintextLabelProvider:
                 scalars = [ctx.encoder.encode(float(b)) for b in beta]
             gamma = ctx.batch.scale_vector(alpha, scalars)
             result.append(gamma)
-            ctx.bus.broadcast(
-                ctx.super_client,
-                ctx.ciphertext_bytes * len(gamma),
-                tag="label-vectors",
-            )
+            ctx.bus.broadcast_payload(ctx.super_client, gamma, tag="label-vectors")
         ctx.bus.round()
         return result
 

@@ -91,10 +91,10 @@ class PivotLogisticRegression:
                 partial = encrypted_dot_product(coefficients, block)
                 total = partial if total is None else total + partial
                 if client.index != ctx.super_client:
-                    ctx.bus.send(
+                    ctx.bus.send_payload(
                         client.index,
                         ctx.super_client,
-                        ctx.ciphertext_bytes,
+                        partial,
                         tag="lr-partial-sum",
                     )
             xi_cts.append(total)

@@ -74,11 +74,8 @@ def predict_basic_encrypted(
             # zeroed (x0).  Both are homomorphic multiplications (§4.3).
             eta[leaf_pos] = eta[leaf_pos] * factor
         if client_index > 0:
-            ctx.bus.send(
-                client_index,
-                client_index - 1,
-                ctx.ciphertext_bytes * len(eta),
-                tag="prediction-vector",
+            ctx.bus.send_payload(
+                client_index, client_index - 1, eta, tag="prediction-vector"
             )
             ctx.bus.round()
 
@@ -143,7 +140,19 @@ def predict_enhanced(
     value = ctx.open_value(prediction_share, tag="prediction-output")
     if model.task == "classification":
         return int(round(value))
-    return float(value * scales[0])
+    # The inner product sums over the leaves, so a single label scale must
+    # apply to all of them.  Training guarantees this (one provider per
+    # tree); hand-built models with mixed per-leaf scales cannot be
+    # rescaled after the sum, so refuse rather than silently apply
+    # scales[0] to every leaf.
+    scale = scales[0] if scales else 1.0
+    mixed = {s for s in scales if s != scale}
+    if mixed:
+        raise ValueError(
+            f"enhanced model has mixed per-leaf label scales {sorted(mixed | {scale})}; "
+            "the shared inner product admits only a uniform scale"
+        )
+    return float(value * scale)
 
 
 def predict_batch(
@@ -152,9 +161,22 @@ def predict_batch(
     rows: np.ndarray,
     protocol: str = "basic",
 ) -> np.ndarray:
-    """Predict many samples with the chosen protocol."""
+    """Predict many samples with the chosen protocol.
+
+    Basic prediction batches the per-row joint decryptions: the n
+    encrypted outputs [k̄] go through one threshold-decryption fan-out
+    (``joint_decrypt_batch``) instead of n serial ones — identical Ce/Cd
+    op counts and results, one message flow.
+    """
     if protocol == "basic":
-        out = [predict_basic(model, context, row) for row in np.asarray(rows)]
+        encrypted = [
+            predict_basic_encrypted(model, context, row) for row in np.asarray(rows)
+        ]
+        values = context.joint_decrypt_batch(encrypted, tag="prediction-output")
+        if model.task == "classification":
+            out = [int(round(v)) for v in values]
+        else:
+            out = [float(v) for v in values]
     elif protocol == "enhanced":
         out = [predict_enhanced(model, context, row) for row in np.asarray(rows)]
     else:

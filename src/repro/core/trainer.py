@@ -86,9 +86,8 @@ class PivotDecisionTree:
             if bits.shape[0] != ctx.n_samples:
                 raise ValueError("initial mask length mismatch")
         alpha = ctx.encrypt_indicator(bits)
-        ctx.bus.broadcast(
-            ctx.super_client, ctx.ciphertext_bytes * len(alpha), tag="mask-vector"
-        )
+        ctx.bus.broadcast_payload(ctx.super_client, alpha, tag="mask-vector")
+        ctx.bus.round()
         available = [list(range(c.n_features)) for c in ctx.clients]
         root = self._build(alpha, None, available, depth=0)
         n_classes = self.provider.n_classes if self.task == "classification" else 0
@@ -213,13 +212,18 @@ class PivotDecisionTree:
             for gamma in gammas:
                 tasks.append((list(v_left), gamma))
                 tasks.append((list(v_right), gamma))
-            ctx.bus.broadcast(
+        stats = ctx.batch.batch_dot_products(tasks)
+        # Each client broadcasts her computed encrypted statistics — the
+        # real ciphertexts, measured on the wire.
+        stride = 2 + 2 * len(gammas)
+        for index, (client_idx, _feature, _split) in enumerate(identifiers):
+            ctx.bus.broadcast_payload(
                 client_idx,
-                ctx.ciphertext_bytes * (2 + 2 * len(gammas)),
+                stats[index * stride : (index + 1) * stride],
                 tag="split-stats",
             )
         ctx.bus.round()
-        return ctx.batch.batch_dot_products(tasks)
+        return stats
 
     # ------------------------------------------------------------------
     # model update: basic protocol (§4.1 "Model update")
@@ -247,14 +251,16 @@ class PivotDecisionTree:
         # before broadcast (§4.1 model update) — pooled masks, batched.
         alpha_left = ctx.batch.mask_vector(alpha, v_left)
         alpha_right = ctx.batch.mask_vector(alpha, 1 - v_left)
-        ctx.bus.broadcast(
-            owner_idx, 2 * ctx.ciphertext_bytes * len(alpha), tag="mask-vector"
-        )
-        ctx.bus.round()
         gam_left = gam_right = None
+        broadcast = [alpha_left, alpha_right]
         if self.provider.rides_with_alpha:
             gam_left = [ctx.batch.mask_vector(g, v_left) for g in gammas]
             gam_right = [ctx.batch.mask_vector(g, 1 - v_left) for g in gammas]
+            # The masked [γ] vectors ride along with [α] in the same
+            # broadcast (§7.2's optimisation) — and therefore on the wire.
+            broadcast += gam_left + gam_right
+        ctx.bus.broadcast_payload(owner_idx, broadcast, tag="mask-vector")
+        ctx.bus.round()
 
         node = TreeNode(
             is_leaf=False,
@@ -377,8 +383,17 @@ class PivotDecisionTree:
         results.  One threshold decryption per element — the O(n)·Cd term
         that dominates the enhanced protocol's cost (§6, §8.3.1) — so the
         mask encryptions and decryptions run through the batch engine.
+
+        Bus flow (all real payloads, tag ``eq10``): clients 2..m send their
+        mask-ciphertext vectors to client 1; the masked batch goes through
+        the canonical threshold-decryption flow; every client sends her
+        share-multiplied term vector to client 1, who broadcasts the
+        combined [α'] (the children's mask vector every client needs for
+        the next node's local statistics).
         """
         import secrets
+
+        from repro.network.flows import record_threshold_decrypt
 
         ctx, fx = self.ctx, self.fx
         m = ctx.n_clients
@@ -395,17 +410,25 @@ class PivotDecisionTree:
             for mask_ct in mask_cts[j * m : (j + 1) * m]:
                 masked = masked + mask_ct
             masked_cts.append(masked)
+        for party in range(1, m):
+            ctx.bus.send_payload(party, 0, mask_cts[party::m], tag="eq10")
+        ctx.bus.round()
+        record_threshold_decrypt(ctx.bus, masked_cts, tag="eq10")
         decrypted = ctx.batch.threshold_decrypt_batch(masked_cts)
         ctx.conversions.threshold_decryptions += len(masked_cts)
         result = []
+        terms_by_party: list[list] = [[] for _ in range(m)]
         for e, masks, a_ct, v_ct in zip(decrypted, mask_lists, alpha, v_enc):
             int_shares = [e - masks[0]] + [-r for r in masks[1:]]
             combined = None
-            for share in int_shares:
+            for party, share in enumerate(int_shares):
                 term = v_ct.ciphertext * share
+                terms_by_party[party].append(term)
                 combined = term if combined is None else combined + term
             result.append(ctx.encoder.wrap(combined, a_ct.exponent + v_ct.exponent))
-        ctx.bus.broadcast(0, ctx.ciphertext_bytes * len(alpha) * m, tag="eq10")
+        for party in range(1, m):
+            ctx.bus.send_payload(party, 0, terms_by_party[party], tag="eq10")
+        ctx.bus.broadcast_payload(0, result, tag="eq10")
         ctx.bus.round(2)
         return result
 

@@ -28,6 +28,8 @@ from repro.crypto.threshold import ThresholdPaillier
 from repro.mpc import comparison
 from repro.mpc.advanced import FixedPointOps
 from repro.mpc.sharing import SharedValue
+from repro.network.bus import MessageBus
+from repro.network.flows import record_threshold_decrypt
 
 __all__ = [
     "cipher_to_share",
@@ -59,6 +61,7 @@ def cipher_to_share(
     threshold: ThresholdPaillier,
     fixed: FixedPointOps,
     counters: ConversionCounters | None = None,
+    bus: MessageBus | None = None,
 ) -> SharedValue:
     """Algorithm 2: convert one ciphertext into a secretly shared value.
 
@@ -66,7 +69,7 @@ def cipher_to_share(
     exceed q by a multiple of q) are handled transparently: building the
     shares mod q strips the wrap before any secure truncation runs.
     """
-    return ciphers_to_shares([value], threshold, fixed, counters)[0]
+    return ciphers_to_shares([value], threshold, fixed, counters, bus=bus)[0]
 
 
 def ciphers_to_shares(
@@ -75,6 +78,7 @@ def ciphers_to_shares(
     fixed: FixedPointOps,
     counters: ConversionCounters | None = None,
     batch_engine=None,
+    bus: MessageBus | None = None,
 ) -> list[SharedValue]:
     """Batch Algorithm 2 (the m decryption rounds are batched in practice).
 
@@ -83,6 +87,13 @@ def ciphers_to_shares(
     :class:`~repro.crypto.batch.BatchCryptoEngine` may be supplied so the
     mask encryptions draw from its obfuscator pool.  Op counts and results
     match the value-at-a-time loop exactly.
+
+    With a ``bus``, the conversion's messages travel as real serialized
+    payloads: clients 2..m each send their vector of mask ciphertexts to
+    client 1 (one round), then the masked batch goes through the canonical
+    threshold-decryption flow (two rounds).  The seed instead broadcast
+    ``ciphertext_bytes * (m−1)`` per value — which the bus fan-out
+    multiplied by (m−1) *again*.
     """
     engine = fixed.engine
     q = engine.field.q
@@ -91,6 +102,7 @@ def ciphers_to_shares(
     masked_cts = []
     mask_lists: list[list[int]] = []
     extras: list[int] = []
+    mask_cts_by_party: list[list] = [[] for _ in range(m)]
     for value in values:
         target_exponent = -fixed.f
         if value.exponent > target_exponent:
@@ -110,6 +122,15 @@ def ciphers_to_shares(
         masked_cts.append(masked_ct)
         mask_lists.append(masks)
         extras.append(extra)
+        for party, mask_ct in enumerate(mask_cts):
+            mask_cts_by_party[party].append(mask_ct)
+    if bus is not None:
+        # Clients 2..m send their batched mask ciphertexts to client 1
+        # (Algorithm 2 lines 1-3); client 1's own masks stay local.
+        for party in range(1, m):
+            bus.send_payload(party, 0, mask_cts_by_party[party], tag="mpc-convert")
+        bus.round()
+        record_threshold_decrypt(bus, masked_cts, tag="mpc-convert")
     # Joint decryption of the masked values (line 5), batched (and fanned
     # out across the engine's workers when one is supplied).
     if batch_engine is not None:
@@ -143,6 +164,7 @@ def share_to_cipher(
     fixed: FixedPointOps,
     counters: ConversionCounters | None = None,
     exponent: int | None = None,
+    bus: MessageBus | None = None,
 ) -> EncryptedNumber:
     """Reverse conversion (§5.2): encrypt shares, sum homomorphically.
 
@@ -154,15 +176,27 @@ def share_to_cipher(
     ``exponent`` declares the fixed-point scale of the shared value:
     -F (the default) for fixed-point values, 0 for raw integers/bits such
     as the enhanced protocol's selection vector [λ].
+
+    With a ``bus``, clients 2..m send their encrypted shares to client 1,
+    who broadcasts the homomorphic sum back — 2(m−1) ciphertext messages
+    over two rounds (the seed broadcast ``ciphertext_bytes * m``, i.e.
+    m(m−1) ciphertexts).
     """
     from repro.crypto.encoding import PaillierEncoder
 
     pk = threshold.public_key
     encoder = PaillierEncoder(pk, frac_bits=fixed.f)
     total = None
+    share_cts = []
     for share in value.shares:
         ct = pk.encrypt(share)
+        share_cts.append(ct)
         total = ct if total is None else total + ct
+    if bus is not None:
+        for party in range(1, value.n_parties):
+            bus.send_payload(party, 0, share_cts[party], tag="mpc-convert")
+        bus.broadcast_payload(0, total, tag="mpc-convert")
+        bus.round(2)
     if counters is not None:
         counters.to_cipher += 1
     value.engine._record_round(

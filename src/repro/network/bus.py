@@ -1,17 +1,34 @@
-"""Simulated LAN between the m clients (paper §8.1 testbed substitution).
+"""Serialization-backed message bus between the m clients (paper §8.1).
 
 The paper runs each client on its own machine in a LAN and measures wall
 time.  In this reproduction all clients live in one process, so network
-cost cannot be *observed* — instead it is *accounted*: every protocol send
-or broadcast reports its byte volume and every synchronisation point
-reports a round.  :class:`NetworkModel` converts the tallies into a modeled
-network time with the usual LAN cost shape
+*time* cannot be observed — but network *bytes* can be, exactly: every
+protocol message is serialized through the :mod:`repro.network.wire`
+format, routed to the receivers' inboxes by a pluggable
+:class:`~repro.network.transport.Transport`, and accounted at its
+**measured** size (``len(serialize(payload))``).
+
+This replaces the seed's accounting-only bus, whose hand-maintained
+``n_bytes`` formulas had drifted from the protocol (an (m−1) double-count
+on Algorithm 2 conversions; threshold decryptions missing their m
+partial-decryption shares).  With ``send_payload`` / ``broadcast_payload``
+the byte counts are correct by construction: the message must exist as
+bytes before it can be counted.  For every payload send the bus also
+records the codec's arithmetic size formula (``bytes_estimated``);
+``snapshot()`` reports both so benchmarks and the reconciliation test can
+assert ``bytes_measured == bytes_estimated`` — any drift between formula
+and wire format fails the build.
+
+:class:`NetworkModel` still converts tallies into a modeled LAN time
 
     time = rounds * latency + bytes / bandwidth,
 
 which together with the operation-cost calibration in
 :mod:`repro.analysis` reconstructs the paper's Table-2 cost structure
-(DESIGN.md §4.1 documents this substitution).
+(DESIGN.md §4.1 documents this substitution).  The legacy ``send`` /
+``broadcast(n_bytes)`` estimate API remains for messages without a wire
+type yet (the malicious model's ZKP proofs, the plaintext baselines); the
+Pivot core protocols use payload sends exclusively.
 """
 
 from __future__ import annotations
@@ -19,7 +36,15 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass
 
+from repro.network.transport import Envelope, InMemoryTransport, Transport
+from repro.network.wire import WireCodec
+
 __all__ = ["NetworkModel", "MessageBus"]
+
+#: Default per-receiver inbox bound for the bus-owned transport: in the
+#: single-process simulation nothing consumes the inboxes, so retention is
+#: capped (accounting happens at delivery time and is unaffected).
+DEFAULT_INBOX_CAPACITY = 256
 
 
 @dataclass(frozen=True)
@@ -34,21 +59,40 @@ class NetworkModel:
 
 
 class MessageBus:
-    """Byte/round accounting for the Paillier-layer protocol messages.
+    """Transport-backed byte/round accounting for the Paillier-layer protocol.
 
     The MPC engine keeps its own counters (it knows its batching
     structure); this bus covers everything else: broadcast of encrypted
-    label vectors, encrypted statistics, mask-vector updates, prediction
-    vectors, and so on.  Tags allow per-phase breakdowns in benchmarks.
+    label vectors, encrypted statistics, mask-vector updates, conversion
+    masks, partial decryptions, prediction vectors, and so on.  Tags allow
+    per-phase breakdowns in benchmarks.
+
+    A bus built with a :class:`~repro.network.wire.WireCodec` supports the
+    payload API (:meth:`send_payload` / :meth:`broadcast_payload`), which
+    serializes the object, routes the bytes through the transport and
+    records the measured size.  A codec-less bus only supports the legacy
+    estimate API.
     """
 
-    def __init__(self, n_parties: int, model: NetworkModel | None = None):
+    def __init__(
+        self,
+        n_parties: int,
+        model: NetworkModel | None = None,
+        codec: WireCodec | None = None,
+        transport: Transport | None = None,
+    ):
         if n_parties < 1:
             raise ValueError("bus needs at least one party")
         self.n_parties = n_parties
         self.model = model or NetworkModel()
+        self.codec = codec
+        self.transport = transport or InMemoryTransport(
+            n_parties, capacity=DEFAULT_INBOX_CAPACITY
+        )
         self.messages = 0
         self.bytes = 0
+        self.bytes_measured = 0
+        self.bytes_estimated = 0
         self.rounds = 0
         self.by_tag: dict[str, int] = defaultdict(int)
 
@@ -56,7 +100,60 @@ class MessageBus:
         if not 0 <= index < self.n_parties:
             raise ValueError(f"party index {index} out of range")
 
+    # -- payload API (measured sizes) ----------------------------------------
+
+    def _serialize(self, payload) -> tuple[bytes, int]:
+        if self.codec is None:
+            raise ValueError(
+                "bus was built without a WireCodec; payload sends need one"
+            )
+        return self.codec.serialize(payload), self.codec.estimate(payload)
+
+    def send_payload(self, sender: int, receiver: int, payload, tag: str = "") -> int:
+        """Serialize ``payload``, route it to ``receiver``, record its size.
+
+        Returns the measured byte size of the serialized message.
+        """
+        self._check_party(sender)
+        self._check_party(receiver)
+        if sender == receiver:
+            raise ValueError("a party does not message itself")
+        data, estimated = self._serialize(payload)
+        self.transport.deliver(Envelope(sender, receiver, tag, data))
+        self.messages += 1
+        self.bytes += len(data)
+        self.bytes_measured += len(data)
+        self.bytes_estimated += estimated
+        if tag:
+            self.by_tag[tag] += len(data)
+        return len(data)
+
+    def broadcast_payload(self, sender: int, payload, tag: str = "") -> int:
+        """One party sends the same serialized payload to every other party.
+
+        The payload is serialized once and the bytes are delivered to all
+        m−1 receivers; the fan-out multiplies the accounted volume exactly
+        once (the seed's double-count applied it both here and at the call
+        site).  Returns the per-receiver measured size.
+        """
+        self._check_party(sender)
+        data, estimated = self._serialize(payload)
+        count = self.n_parties - 1
+        for receiver in range(self.n_parties):
+            if receiver != sender:
+                self.transport.deliver(Envelope(sender, receiver, tag, data))
+        self.messages += count
+        self.bytes += len(data) * count
+        self.bytes_measured += len(data) * count
+        self.bytes_estimated += estimated * count
+        if tag:
+            self.by_tag[tag] += len(data) * count
+        return len(data)
+
+    # -- legacy estimate API -------------------------------------------------
+
     def send(self, sender: int, receiver: int, n_bytes: int, tag: str = "") -> None:
+        """Record an estimated send (no wire type yet; prefer send_payload)."""
         self._check_party(sender)
         self._check_party(receiver)
         if sender == receiver:
@@ -67,7 +164,7 @@ class MessageBus:
             self.by_tag[tag] += n_bytes
 
     def broadcast(self, sender: int, n_bytes: int, tag: str = "") -> None:
-        """One party sends the same payload to every other party."""
+        """Record an estimated broadcast of ``n_bytes`` to every other party."""
         self._check_party(sender)
         count = self.n_parties - 1
         self.messages += count
@@ -86,16 +183,21 @@ class MessageBus:
     def simulated_time(self, extra_rounds: int = 0, extra_bytes: int = 0) -> float:
         return self.model.time(self.rounds + extra_rounds, self.bytes + extra_bytes)
 
-    def snapshot(self) -> dict[str, float]:
+    def snapshot(self) -> dict[str, object]:
         return {
             "messages": self.messages,
             "bytes": self.bytes,
+            "bytes_measured": self.bytes_measured,
+            "bytes_estimated": self.bytes_estimated,
             "rounds": self.rounds,
             "simulated_seconds": self.simulated_time(),
+            "by_tag": dict(self.by_tag),
         }
 
     def reset(self) -> None:
         self.messages = 0
         self.bytes = 0
+        self.bytes_measured = 0
+        self.bytes_estimated = 0
         self.rounds = 0
         self.by_tag = defaultdict(int)

@@ -1,0 +1,69 @@
+"""Canonical message flows for recurring protocol patterns.
+
+The seed's accounting bugs came from every call site re-deriving the same
+message pattern by hand.  This module defines each recurring flow exactly
+once, as real payload sends on the bus, so the byte counts cannot drift
+between call sites.
+
+**Threshold decryption** (the paper's TPHE, §2.1): to jointly decrypt a
+batch of k ciphertexts,
+
+1. the holder broadcasts the k ciphertexts to the other m−1 clients
+   (one round), and
+2. every one of the m clients broadcasts her vector of k partial
+   decryptions c^{d_i} mod n² so all clients can combine locally
+   (one round).
+
+Per batch that moves (m−1) ciphertext-vector messages plus m·(m−1)
+partial-vector messages — the m partial-decryption shares the seed's
+``joint_decrypt`` omitted entirely.
+
+Partial-decryption *values*: when the simulation takes the CRT fast path
+(:attr:`~repro.crypto.threshold.ThresholdPaillier.fast_decrypt`) the m
+partial exponentiations are never computed, so the flow serializes
+placeholder shares (value 0) with the correct party indices and batch
+shape.  The wire format is fixed-width, so the measured byte volume is
+identical to sending the real values; callers that did compute real
+partials can pass them via ``partials``.
+"""
+
+from __future__ import annotations
+
+from repro.network.bus import MessageBus
+from repro.network.wire import PartialDecryptionVector
+
+__all__ = ["record_threshold_decrypt"]
+
+
+def record_threshold_decrypt(
+    bus: MessageBus,
+    ciphertexts: list,
+    tag: str,
+    holder: int = 0,
+    partials: list[PartialDecryptionVector] | None = None,
+) -> None:
+    """Account one batched threshold decryption as real payload sends.
+
+    ``ciphertexts`` is the batch being decrypted (``Ciphertext`` or
+    ``EncryptedNumber`` payloads, as held by the caller); ``partials``
+    optionally supplies the real per-party share vectors (placeholders of
+    the same wire size are synthesized otherwise).  Marks the flow's two
+    rounds (ciphertext broadcast, share broadcast).
+    """
+    count = len(ciphertexts)
+    if count == 0:
+        return
+    if partials is not None and len(partials) != bus.n_parties:
+        raise ValueError(
+            f"expected {bus.n_parties} partial-share vectors, got {len(partials)}"
+        )
+    bus.broadcast_payload(holder, list(ciphertexts), tag=tag)
+    for party in range(bus.n_parties):
+        if partials is not None:
+            vector = partials[party]
+            if len(vector.values) != count:
+                raise ValueError("partial-share vector length mismatch")
+        else:
+            vector = PartialDecryptionVector(party, (0,) * count)
+        bus.broadcast_payload(party, vector, tag=tag)
+    bus.round(2)

@@ -1,0 +1,98 @@
+"""Pluggable message transport between the m simulated clients.
+
+The :class:`~repro.network.bus.MessageBus` serializes every protocol
+payload through its :class:`~repro.network.wire.WireCodec` and hands the
+resulting bytes to a :class:`Transport`, which routes them to per-receiver
+inboxes.  The interface is deliberately minimal and non-blocking —
+``deliver`` / ``poll`` / ``pending`` — so the ROADMAP's async step can
+drop in an asyncio implementation (same methods as coroutines over real
+sockets) without touching the bus or any protocol code.
+
+:class:`InMemoryTransport` is the synchronous single-process
+implementation.  Because the simulation's "receivers" are the same process
+that sent the message, nothing drains the inboxes during a long training
+run; the bus therefore builds its default transport with a bounded
+``capacity`` per inbox (oldest messages are dropped once full, and
+counted).  Byte accounting is done by the bus at delivery time, so a
+bounded inbox never affects the measured totals — pass ``capacity=None``
+when a test or a real consumer loop wants every message retained.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+__all__ = ["Envelope", "Transport", "InMemoryTransport"]
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """One routed message: addressing, phase tag, and the wire bytes."""
+
+    sender: int
+    receiver: int
+    tag: str
+    data: bytes
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+
+class Transport:
+    """Interface every transport implements (sync now, asyncio-ready)."""
+
+    def deliver(self, envelope: Envelope) -> None:
+        """Route one serialized message to its receiver's inbox."""
+        raise NotImplementedError
+
+    def poll(self, receiver: int) -> Envelope | None:
+        """Pop the oldest pending message for ``receiver`` (None if idle)."""
+        raise NotImplementedError
+
+    def pending(self, receiver: int) -> int:
+        """Number of undelivered messages waiting for ``receiver``."""
+        raise NotImplementedError
+
+
+class InMemoryTransport(Transport):
+    """Synchronous in-process transport with per-receiver FIFO inboxes."""
+
+    def __init__(self, n_parties: int, capacity: int | None = None):
+        if n_parties < 1:
+            raise ValueError("transport needs at least one party")
+        if capacity is not None and capacity < 1:
+            raise ValueError("inbox capacity must be positive (or None)")
+        self.n_parties = n_parties
+        self.capacity = capacity
+        self._inboxes: list[deque[Envelope]] = [
+            deque(maxlen=capacity) for _ in range(n_parties)
+        ]
+        self.delivered = 0  # total messages ever routed
+        self.dropped = 0  # messages evicted by a bounded inbox
+
+    def _check_party(self, index: int) -> None:
+        if not 0 <= index < self.n_parties:
+            raise ValueError(f"party index {index} out of range")
+
+    def deliver(self, envelope: Envelope) -> None:
+        self._check_party(envelope.sender)
+        self._check_party(envelope.receiver)
+        inbox = self._inboxes[envelope.receiver]
+        if self.capacity is not None and len(inbox) == self.capacity:
+            self.dropped += 1  # deque(maxlen=...) evicts the oldest
+        inbox.append(envelope)
+        self.delivered += 1
+
+    def poll(self, receiver: int) -> Envelope | None:
+        self._check_party(receiver)
+        inbox = self._inboxes[receiver]
+        return inbox.popleft() if inbox else None
+
+    def pending(self, receiver: int) -> int:
+        self._check_party(receiver)
+        return len(self._inboxes[receiver])
+
+    def clear(self) -> None:
+        for inbox in self._inboxes:
+            inbox.clear()

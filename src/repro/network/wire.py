@@ -1,0 +1,287 @@
+"""Wire format for the protocol's network payloads (length-prefixed big ints).
+
+Every message the Pivot protocols move — encrypted label/mask/statistic
+vectors ([γ], [α], Eq. 7/9 outputs), Algorithm 2's mask ciphertexts,
+threshold partial decryptions, secret shares — is one of a small set of
+big-integer payloads.  :class:`WireCodec` turns those objects into bytes
+and back, so the :class:`~repro.network.bus.MessageBus` can record the
+*measured* size of a real serialized message instead of a hand-maintained
+``n_bytes`` formula (which is how the (m−1) double-count and the missing
+partial-decryption bytes crept into the seed's accounting).
+
+Layout (all integers big-endian):
+
+====  =======================  ==========================================
+tag   payload                  body
+====  =======================  ==========================================
+0x01  ``Ciphertext``           raw, fixed ``ciphertext_width`` bytes
+0x02  ``EncryptedNumber``      exponent (int32) + raw (``ciphertext_width``)
+0x03  ``PartialDecryption``    party (uint16) + value (``ciphertext_width``)
+0x04  ``PartialDecryptionVector``  party (uint16) + count (uint32) + values
+0x05  ``ShareVector``          count (uint32) + field elements (``share_width``)
+0x06  ``list`` / ``tuple``     count (uint32) + serialized items (recursive)
+0x07  ``bytes``                length (uint32) + raw blob
+====  =======================  ==========================================
+
+Big ints are encoded **fixed-width**: ciphertexts and partial decryptions
+(both elements of Z_{n²}) take exactly ``2 * ceil(n_bits / 8)`` bytes — the
+same value as the protocol-spec formula ``PivotContext.ciphertext_bytes`` —
+and secret shares take ``ceil(q_bits / 8)`` bytes.  Fixed width makes the
+serialized size a pure function of the payload *shape*, so
+:meth:`WireCodec.estimate` can predict ``len(serialize(payload))`` with
+arithmetic alone; the bus records both and ``cost_snapshot()`` reconciles
+them (measured == estimated is asserted by the wire property tests and by
+the end-to-end reconciliation test on real training runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.encoding import EncryptedNumber, PaillierEncoder
+from repro.crypto.paillier import Ciphertext, PaillierPublicKey
+from repro.crypto.threshold import PartialDecryption
+
+__all__ = [
+    "ShareVector",
+    "PartialDecryptionVector",
+    "WireCodec",
+    "WireFormatError",
+]
+
+_TAG_CIPHERTEXT = 0x01
+_TAG_ENCRYPTED_NUMBER = 0x02
+_TAG_PARTIAL = 0x03
+_TAG_PARTIAL_VECTOR = 0x04
+_TAG_SHARES = 0x05
+_TAG_VECTOR = 0x06
+_TAG_BYTES = 0x07
+
+#: Framing sizes (bytes): type tag, element count, fixed-point exponent
+#: (signed), party index, raw-blob length.
+TAG_BYTES = 1
+COUNT_BYTES = 4
+EXPONENT_BYTES = 4
+PARTY_BYTES = 2
+LENGTH_BYTES = 4
+
+
+class WireFormatError(ValueError):
+    """A payload cannot be serialized, or a byte stream cannot be parsed."""
+
+
+@dataclass(frozen=True)
+class ShareVector:
+    """A vector of additive secret shares (field elements mod q)."""
+
+    values: tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+@dataclass(frozen=True)
+class PartialDecryptionVector:
+    """One party's decryption shares for a batch of ciphertexts.
+
+    A deployment sends the whole vector as one message (the protocols
+    always threshold-decrypt batches of statistics); ``values`` are
+    elements of Z_{n²} like the ciphertexts themselves.
+    """
+
+    party_index: int
+    values: tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+class WireCodec:
+    """Serializer/deserializer bound to one deployment's key material.
+
+    The codec needs the public key to fix the ciphertext width (and to
+    rebuild :class:`Ciphertext` objects on the receiving side) and the MPC
+    field modulus to fix the share width.  ``estimate`` computes the exact
+    serialized size of a payload from its shape alone — the corrected
+    per-value byte formulas, kept next to the serializer so they cannot
+    drift from it.
+    """
+
+    def __init__(
+        self,
+        public_key: PaillierPublicKey,
+        share_modulus: int | None = None,
+        encoder: PaillierEncoder | None = None,
+    ):
+        self.public_key = public_key
+        #: Fixed ciphertext width: 2 * ceil(n_bits / 8) bytes holds any
+        #: element of Z_{n²} and matches the protocol-spec formula.
+        self.ciphertext_width = 2 * ((public_key.n.bit_length() + 7) // 8)
+        self.share_modulus = share_modulus
+        self.share_width = (
+            (share_modulus.bit_length() + 7) // 8 if share_modulus else None
+        )
+        self.encoder = encoder or PaillierEncoder(public_key)
+
+    # -- sizes (the corrected byte formulas) -------------------------------
+
+    def estimate(self, payload) -> int:
+        """Exact serialized size, computed without serializing."""
+        w = self.ciphertext_width
+        if isinstance(payload, Ciphertext):
+            return TAG_BYTES + w
+        if isinstance(payload, EncryptedNumber):
+            return TAG_BYTES + EXPONENT_BYTES + w
+        if isinstance(payload, PartialDecryption):
+            return TAG_BYTES + PARTY_BYTES + w
+        if isinstance(payload, PartialDecryptionVector):
+            return TAG_BYTES + PARTY_BYTES + COUNT_BYTES + len(payload.values) * w
+        if isinstance(payload, ShareVector):
+            return TAG_BYTES + COUNT_BYTES + len(payload.values) * self._share_width()
+        if isinstance(payload, (list, tuple)):
+            return TAG_BYTES + COUNT_BYTES + sum(self.estimate(p) for p in payload)
+        if isinstance(payload, bytes):
+            return TAG_BYTES + LENGTH_BYTES + len(payload)
+        raise WireFormatError(f"unsupported payload type {type(payload).__name__}")
+
+    # -- serialization -----------------------------------------------------
+
+    def serialize(self, payload) -> bytes:
+        out = bytearray()
+        self._write(out, payload)
+        return bytes(out)
+
+    def _write(self, out: bytearray, payload) -> None:
+        w = self.ciphertext_width
+        if isinstance(payload, Ciphertext):
+            if payload.public_key != self.public_key:
+                raise WireFormatError("ciphertext under a different public key")
+            out.append(_TAG_CIPHERTEXT)
+            out += self._big(payload.raw, w)
+        elif isinstance(payload, EncryptedNumber):
+            if payload.ciphertext.public_key != self.public_key:
+                raise WireFormatError("ciphertext under a different public key")
+            out.append(_TAG_ENCRYPTED_NUMBER)
+            out += payload.exponent.to_bytes(EXPONENT_BYTES, "big", signed=True)
+            out += self._big(payload.ciphertext.raw, w)
+        elif isinstance(payload, PartialDecryption):
+            out.append(_TAG_PARTIAL)
+            out += payload.party_index.to_bytes(PARTY_BYTES, "big")
+            out += self._big(payload.value, w)
+        elif isinstance(payload, PartialDecryptionVector):
+            out.append(_TAG_PARTIAL_VECTOR)
+            out += payload.party_index.to_bytes(PARTY_BYTES, "big")
+            out += len(payload.values).to_bytes(COUNT_BYTES, "big")
+            for value in payload.values:
+                out += self._big(value, w)
+        elif isinstance(payload, ShareVector):
+            sw = self._share_width()
+            out.append(_TAG_SHARES)
+            out += len(payload.values).to_bytes(COUNT_BYTES, "big")
+            for value in payload.values:
+                out += self._big(value, sw)
+        elif isinstance(payload, (list, tuple)):
+            out.append(_TAG_VECTOR)
+            out += len(payload).to_bytes(COUNT_BYTES, "big")
+            for item in payload:
+                self._write(out, item)
+        elif isinstance(payload, bytes):
+            out.append(_TAG_BYTES)
+            out += len(payload).to_bytes(LENGTH_BYTES, "big")
+            out += payload
+        else:
+            raise WireFormatError(
+                f"unsupported payload type {type(payload).__name__}"
+            )
+
+    # -- deserialization ---------------------------------------------------
+
+    def deserialize(self, data: bytes):
+        payload, offset = self._read(memoryview(data), 0)
+        if offset != len(data):
+            raise WireFormatError(
+                f"{len(data) - offset} trailing bytes after payload"
+            )
+        return payload
+
+    def _read(self, view: memoryview, offset: int):
+        tag = self._take_int(view, offset, TAG_BYTES)
+        offset += TAG_BYTES
+        w = self.ciphertext_width
+        if tag == _TAG_CIPHERTEXT:
+            raw = self._take_int(view, offset, w)
+            return Ciphertext(self.public_key, raw), offset + w
+        if tag == _TAG_ENCRYPTED_NUMBER:
+            exponent = int.from_bytes(
+                view[offset : offset + EXPONENT_BYTES], "big", signed=True
+            )
+            offset += EXPONENT_BYTES
+            raw = self._take_int(view, offset, w)
+            ct = Ciphertext(self.public_key, raw)
+            return EncryptedNumber(self.encoder, ct, exponent), offset + w
+        if tag == _TAG_PARTIAL:
+            party = self._take_int(view, offset, PARTY_BYTES)
+            offset += PARTY_BYTES
+            value = self._take_int(view, offset, w)
+            return PartialDecryption(party, value), offset + w
+        if tag == _TAG_PARTIAL_VECTOR:
+            party = self._take_int(view, offset, PARTY_BYTES)
+            offset += PARTY_BYTES
+            count = self._take_int(view, offset, COUNT_BYTES)
+            offset += COUNT_BYTES
+            values = []
+            for _ in range(count):
+                values.append(self._take_int(view, offset, w))
+                offset += w
+            return PartialDecryptionVector(party, tuple(values)), offset
+        if tag == _TAG_SHARES:
+            sw = self._share_width()
+            count = self._take_int(view, offset, COUNT_BYTES)
+            offset += COUNT_BYTES
+            values = []
+            for _ in range(count):
+                values.append(self._take_int(view, offset, sw))
+                offset += sw
+            return ShareVector(tuple(values)), offset
+        if tag == _TAG_VECTOR:
+            count = self._take_int(view, offset, COUNT_BYTES)
+            offset += COUNT_BYTES
+            items = []
+            for _ in range(count):
+                item, offset = self._read(view, offset)
+                items.append(item)
+            return items, offset
+        if tag == _TAG_BYTES:
+            length = self._take_int(view, offset, LENGTH_BYTES)
+            offset += LENGTH_BYTES
+            if offset + length > len(view):
+                raise WireFormatError("truncated raw blob")
+            return bytes(view[offset : offset + length]), offset + length
+        raise WireFormatError(f"unknown wire tag 0x{tag:02x}")
+
+    # -- helpers -----------------------------------------------------------
+
+    def _share_width(self) -> int:
+        if self.share_width is None:
+            raise WireFormatError(
+                "codec was built without a share modulus; cannot encode shares"
+            )
+        return self.share_width
+
+    @staticmethod
+    def _big(value: int, width: int) -> bytes:
+        if value < 0:
+            raise WireFormatError(f"negative big int {value} on the wire")
+        try:
+            return value.to_bytes(width, "big")
+        except OverflowError as exc:
+            raise WireFormatError(
+                f"value of {value.bit_length()} bits exceeds the fixed "
+                f"width of {width} bytes"
+            ) from exc
+
+    @staticmethod
+    def _take_int(view: memoryview, offset: int, width: int) -> int:
+        if offset + width > len(view):
+            raise WireFormatError("truncated payload")
+        return int.from_bytes(view[offset : offset + width], "big")

@@ -72,6 +72,72 @@ def test_unknown_protocol_rejected(trained):
         predict_batch(model, ctx, X[:1], protocol="quantum")
 
 
+def test_predict_batch_single_decryption_fanout(trained):
+    """Basic n-row prediction does ONE threshold-decryption flow with
+    exact Ce/Cd op-count parity against the serial per-row path."""
+    from repro.analysis import opcount
+
+    X, _, ctx, model = trained
+    rows = X[:4]
+    rounds_before, decs_before = ctx.bus.rounds, ctx.conversions.threshold_decryptions
+    with opcount.counting() as batch_ops:
+        batched = predict_batch(model, ctx, rows)
+    batch_rounds = ctx.bus.rounds - rounds_before
+    assert ctx.conversions.threshold_decryptions - decs_before == len(rows)
+    rounds_before = ctx.bus.rounds
+    with opcount.counting() as serial_ops:
+        serial = [predict_basic(model, ctx, row) for row in rows]
+    serial_rounds = ctx.bus.rounds - rounds_before
+    assert list(batched) == serial
+    assert dict(batch_ops) == dict(serial_ops)  # Ce/Cd parity
+    # One decryption flow (2 rounds) instead of one per row.
+    assert batch_rounds == serial_rounds - 2 * (len(rows) - 1)
+
+
+def test_enhanced_regression_non_unit_scale():
+    """Leaf predictions must come back in label units when the provider's
+    normalisation scale is far from 1 (regression labels are trained on
+    y / max|y|)."""
+    from repro.core.prediction import predict_enhanced
+
+    rng = np.random.default_rng(2)
+    X = rng.normal(size=(16, 3))
+    y = (X[:, 0] * 2.0 + rng.normal(scale=0.05, size=16)) * 300.0
+    params = TreeParams(max_depth=1, max_splits=2)
+    ctx = make_context(
+        X, y, "regression", keysize=512, protocol="enhanced", params=params
+    )
+    trainer = PivotDecisionTree(ctx)
+    model = trainer.fit()
+    assert trainer.provider.label_scale > 100.0
+    basic_ctx = make_context(X, y, "regression", params=params)
+    basic_model = PivotDecisionTree(basic_ctx).fit()
+    for row in X[:4]:
+        secure = predict_enhanced(model, ctx, row)
+        plain = basic_model.predict_row(row)
+        assert secure == pytest.approx(plain, abs=5e-2 * max(1.0, abs(plain)))
+
+
+def test_enhanced_mixed_leaf_scales_rejected():
+    """The shared inner product sums over leaves, so mixed per-leaf scales
+    cannot be applied after the fact — refuse instead of using scales[0]."""
+    from repro.core.prediction import predict_enhanced
+
+    rng = np.random.default_rng(4)
+    X = rng.normal(size=(14, 3))
+    y = X[:, 0] * 10.0
+    params = TreeParams(max_depth=1, max_splits=2)
+    ctx = make_context(
+        X, y, "regression", keysize=512, protocol="enhanced", params=params
+    )
+    model = PivotDecisionTree(ctx).fit()
+    leaves = model.leaves()
+    assert len(leaves) >= 2, "need a split for a meaningful mixed-scale model"
+    leaves[0].hidden["label_scale"] = leaves[-1].hidden["label_scale"] * 2.0
+    with pytest.raises(ValueError, match="mixed per-leaf label scales"):
+        predict_enhanced(model, ctx, X[0])
+
+
 def test_prediction_communication_scales_with_clients(small_classification):
     """Fig. 4g's driver: basic prediction cost grows with m (round-robin)."""
     X, y = small_classification

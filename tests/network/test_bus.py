@@ -1,6 +1,16 @@
 import pytest
 
-from repro.network import MessageBus, NetworkModel
+from repro.network import MessageBus, NetworkModel, WireCodec
+from repro.network.transport import InMemoryTransport
+
+
+@pytest.fixture()
+def payload_bus(threshold3):
+    """A 3-party bus with a codec and an unbounded transport."""
+    codec = WireCodec(threshold3.public_key, share_modulus=2**127 - 1)
+    return MessageBus(
+        3, codec=codec, transport=InMemoryTransport(3, capacity=None)
+    )
 
 
 def test_send_accounting():
@@ -49,3 +59,60 @@ def test_reset_and_snapshot():
     bus.reset()
     assert bus.snapshot()["bytes"] == 0
     assert bus.by_tag == {}
+
+
+# -- payload API ---------------------------------------------------------------
+
+
+def test_send_payload_measures_and_delivers(payload_bus, threshold3):
+    ct = threshold3.encrypt(42)
+    size = payload_bus.send_payload(0, 1, ct, tag="stats")
+    assert size == len(payload_bus.codec.serialize(ct))
+    assert payload_bus.messages == 1
+    assert payload_bus.bytes == size
+    assert payload_bus.bytes_measured == size
+    assert payload_bus.bytes_estimated == size
+    assert payload_bus.by_tag["stats"] == size
+    # The message exists as bytes in the receiver's inbox and round-trips.
+    envelope = payload_bus.transport.poll(1)
+    assert envelope.sender == 0 and envelope.tag == "stats"
+    assert payload_bus.codec.deserialize(envelope.data).raw == ct.raw
+    assert payload_bus.transport.poll(2) is None
+
+
+def test_broadcast_payload_fans_out_once(payload_bus, threshold3):
+    """The fan-out multiplies the volume exactly once (the seed's to_shares
+    accounting applied (m-1) both at the call site and inside broadcast)."""
+    ct = threshold3.encrypt(7)
+    size = payload_bus.broadcast_payload(1, ct, tag="mask-vector")
+    assert payload_bus.messages == 2  # m - 1 receivers
+    assert payload_bus.bytes == 2 * size
+    assert payload_bus.bytes_measured == 2 * size
+    assert payload_bus.by_tag["mask-vector"] == 2 * size
+    assert payload_bus.transport.pending(0) == 1
+    assert payload_bus.transport.pending(2) == 1
+    assert payload_bus.transport.pending(1) == 0  # sender keeps nothing
+
+
+def test_payload_snapshot_and_by_tag(payload_bus, threshold3):
+    payload_bus.send_payload(0, 1, threshold3.encrypt(1), tag="a")
+    payload_bus.broadcast_payload(0, threshold3.encrypt(2), tag="b")
+    snap = payload_bus.snapshot()
+    assert snap["bytes_measured"] == snap["bytes_estimated"] == snap["bytes"]
+    assert set(snap["by_tag"]) == {"a", "b"}
+    assert sum(snap["by_tag"].values()) == snap["bytes"]
+    payload_bus.reset()
+    assert payload_bus.snapshot()["bytes_measured"] == 0
+
+
+def test_payload_requires_codec():
+    bus = MessageBus(2)  # codec-less: legacy estimate API only
+    with pytest.raises(ValueError):
+        bus.send_payload(0, 1, b"raw")
+
+
+def test_payload_validation(payload_bus):
+    with pytest.raises(ValueError):
+        payload_bus.send_payload(0, 0, b"self-send")
+    with pytest.raises(ValueError):
+        payload_bus.send_payload(0, 9, b"bad receiver")

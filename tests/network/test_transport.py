@@ -1,0 +1,63 @@
+"""Transport routing: inboxes, FIFO order, bounded retention."""
+
+import pytest
+
+from repro.network.transport import Envelope, InMemoryTransport, Transport
+
+
+def _env(sender, receiver, data=b"x", tag="t"):
+    return Envelope(sender=sender, receiver=receiver, tag=tag, data=data)
+
+
+def test_deliver_and_poll_fifo():
+    transport = InMemoryTransport(3)
+    transport.deliver(_env(0, 1, b"first"))
+    transport.deliver(_env(2, 1, b"second"))
+    assert transport.pending(1) == 2
+    assert transport.pending(0) == 0
+    first = transport.poll(1)
+    assert (first.sender, first.data) == (0, b"first")
+    assert transport.poll(1).data == b"second"
+    assert transport.poll(1) is None
+    assert transport.delivered == 2
+
+
+def test_party_validation():
+    transport = InMemoryTransport(2)
+    with pytest.raises(ValueError):
+        transport.deliver(_env(0, 5))
+    with pytest.raises(ValueError):
+        transport.poll(-1)
+    with pytest.raises(ValueError):
+        InMemoryTransport(0)
+    with pytest.raises(ValueError):
+        InMemoryTransport(2, capacity=0)
+
+
+def test_bounded_inbox_drops_oldest_and_counts():
+    transport = InMemoryTransport(2, capacity=2)
+    for i in range(4):
+        transport.deliver(_env(0, 1, bytes([i])))
+    assert transport.pending(1) == 2
+    assert transport.dropped == 2
+    assert transport.delivered == 4
+    # The two newest survive.
+    assert transport.poll(1).data == bytes([2])
+    assert transport.poll(1).data == bytes([3])
+
+
+def test_clear():
+    transport = InMemoryTransport(2)
+    transport.deliver(_env(0, 1))
+    transport.clear()
+    assert transport.pending(1) == 0
+
+
+def test_interface_is_abstract():
+    base = Transport()
+    with pytest.raises(NotImplementedError):
+        base.deliver(_env(0, 1))
+    with pytest.raises(NotImplementedError):
+        base.poll(0)
+    with pytest.raises(NotImplementedError):
+        base.pending(0)
