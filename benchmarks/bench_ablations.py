@@ -20,7 +20,7 @@ sys.path.insert(0, str(Path(__file__).parent))
 
 from common import DEFAULTS, build_context, calibrated_costs, print_table, timed_run
 from repro.analysis.calibration import PrimitiveCosts
-from repro.core import PivotDecisionTree
+from repro.core import TreeTrainer
 
 DECRYPT_WORKERS = 6  # the paper's parallel setting
 
@@ -30,7 +30,7 @@ def run_gain_mode(mode: str):
     # same tree (ranking equivalence; see DESIGN.md §7 on ties).
     context = build_context(gain_mode=mode, seed=1)
     costs = calibrated_costs(DEFAULTS["m"], 256)
-    result = timed_run(lambda: PivotDecisionTree(context).fit(), context, costs)
+    result = timed_run(lambda: TreeTrainer(context).fit(), context, costs)
     result.extra["model"] = result.extra.pop("returned")
     return result
 
@@ -62,7 +62,7 @@ def test_parallel_decryption_model(benchmark):
     def run():
         context = build_context(protocol="enhanced")
         costs = calibrated_costs(DEFAULTS["m"], 256)
-        result = timed_run(lambda: PivotDecisionTree(context).fit(), context, costs)
+        result = timed_run(lambda: TreeTrainer(context).fit(), context, costs)
         # The paper's -PP variants parallelise decryption *compute*; compare
         # the compute share of the model (network latency is orthogonal).
         from repro.analysis.costmodel import predicted_time
@@ -101,7 +101,7 @@ def main() -> None:
     for protocol in ("basic", "enhanced"):
         context = build_context(protocol=protocol)
         costs = calibrated_costs(DEFAULTS["m"], 256)
-        result = timed_run(lambda: PivotDecisionTree(context).fit(), context, costs)
+        result = timed_run(lambda: TreeTrainer(context).fit(), context, costs)
         serial = predicted_time(result.ops, costs)
         parallel = predicted_time(result.ops, pp_costs(costs))
         rows.append([protocol, serial, parallel, f"{serial / parallel:.2f}x"])

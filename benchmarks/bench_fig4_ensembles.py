@@ -22,7 +22,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).parent))
 
 from common import build_context, print_table, timed_run
-from repro.core import PivotGBDT, PivotRandomForest
+from repro.core import GBDTTrainer, ForestTrainer
 
 W_VALUES = [1, 2, 3]  # paper: 2..32
 SMALL = dict(n=24, d_bar=2, b=2, h=1, m=3)
@@ -31,14 +31,14 @@ SMALL = dict(n=24, d_bar=2, b=2, h=1, m=3)
 def run_rf(task: str, w: int):
     context = build_context(task=task, classes=3 if task == "classification" else 2, **SMALL)
     return timed_run(
-        lambda: PivotRandomForest(context, n_trees=w, seed=1).fit(), context
+        lambda: ForestTrainer(context, n_trees=w, seed=1).fit(), context
     )
 
 
 def run_gbdt(task: str, w: int):
     context = build_context(task=task, classes=3 if task == "classification" else 2, **SMALL)
     return timed_run(
-        lambda: PivotGBDT(context, n_rounds=w, learning_rate=0.5).fit(), context
+        lambda: GBDTTrainer(context, n_rounds=w, learning_rate=0.5).fit(), context
     )
 
 

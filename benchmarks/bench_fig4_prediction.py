@@ -26,7 +26,7 @@ import numpy as np
 
 from common import DEFAULTS, build_context, print_table
 from repro.baselines import NpdDecisionTree, npd_predict
-from repro.core import PivotDecisionTree, predict_basic, predict_enhanced
+from repro.core import TreeTrainer, run_predict_basic, run_predict_enhanced
 
 N_PREDICTIONS = 8
 
@@ -40,19 +40,19 @@ def _time_per_prediction(fn, rows) -> float:
 
 def run_point(m: int, h: int) -> dict[str, float]:
     basic_ctx = build_context(m=m, h=h, n=40, protocol="basic")
-    basic_model = PivotDecisionTree(basic_ctx).fit()
+    basic_model = TreeTrainer(basic_ctx).fit()
     enhanced_ctx = build_context(m=m, h=h, n=40, protocol="enhanced")
-    enhanced_model = PivotDecisionTree(enhanced_ctx).fit()
+    enhanced_model = TreeTrainer(enhanced_ctx).fit()
     npd = NpdDecisionTree(basic_ctx.partition, basic_ctx.config.tree)
     npd_model = npd.fit()
 
     rows = _rows_for(basic_ctx, N_PREDICTIONS)
     return {
         "basic": _time_per_prediction(
-            lambda r: predict_basic(basic_model, basic_ctx, r), rows
+            lambda r: run_predict_basic(basic_model, basic_ctx, r), rows
         ),
         "enhanced": _time_per_prediction(
-            lambda r: predict_enhanced(enhanced_model, enhanced_ctx, r), rows
+            lambda r: run_predict_enhanced(enhanced_model, enhanced_ctx, r), rows
         ),
         "npd": _time_per_prediction(
             lambda r: npd_predict(npd_model, basic_ctx.partition, r, npd.bus), rows

@@ -21,7 +21,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).parent))
 
 from common import DEFAULTS, build_context, calibrated_costs, print_table, timed_run
-from repro.core import PivotDecisionTree
+from repro.core import TreeTrainer
 
 SWEEPS = {
     "m": [2, 3, 4],  # paper: 2..10
@@ -36,7 +36,7 @@ def run_point(protocol: str, parameter: str, value: int, batch_crypto: bool = Tr
     params = {**DEFAULTS, parameter: value}
     context = build_context(protocol=protocol, batch_crypto=batch_crypto, **params)
     costs = calibrated_costs(params["m"], 256)
-    return timed_run(lambda: PivotDecisionTree(context).fit(), context, costs)
+    return timed_run(lambda: TreeTrainer(context).fit(), context, costs)
 
 
 def run_batch_ablation() -> list[list]:
@@ -75,7 +75,7 @@ def run_tag_breakdown() -> list[list]:
     rows = []
     for protocol in ("basic", "enhanced"):
         context = build_context(protocol=protocol, **DEFAULTS)
-        PivotDecisionTree(context).fit()
+        TreeTrainer(context).fit()
         snap = context.bus.snapshot()
         total = snap["bytes_measured"]
         for tag, n_bytes in sorted(

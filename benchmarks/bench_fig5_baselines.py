@@ -28,13 +28,13 @@ sys.path.insert(0, str(Path(__file__).parent))
 from common import DEFAULTS, LAN, build_context, calibrated_costs, print_table, timed_run
 from repro.analysis.costmodel import modeled_time
 from repro.baselines import NpdDecisionTree, SpdzDecisionTree
-from repro.core import PivotDecisionTree
+from repro.core import TreeTrainer
 
 
 def run_pivot(protocol: str, m: int, n: int):
     context = build_context(protocol=protocol, m=m, n=n)
     costs = calibrated_costs(m, 256)
-    return timed_run(lambda: PivotDecisionTree(context).fit(), context, costs)
+    return timed_run(lambda: TreeTrainer(context).fit(), context, costs)
 
 
 def run_spdz(m: int, n: int):

@@ -16,13 +16,13 @@ sys.path.insert(0, str(Path(__file__).parent))
 
 from common import DEFAULTS, build_context, print_table, timed_run
 from repro.analysis.costmodel import Workload, table2_training_counts
-from repro.core import PivotDecisionTree
+from repro.core import TreeTrainer
 
 
 def measure(protocol: str, **overrides) -> tuple[Workload, dict[str, int]]:
     params = {**DEFAULTS, **overrides}
     context = build_context(protocol=protocol, **params)
-    result = timed_run(lambda: PivotDecisionTree(context).fit(), context)
+    result = timed_run(lambda: TreeTrainer(context).fit(), context)
     workload = Workload(
         n=params["n"], m=params["m"], d_bar=params["d_bar"],
         b=params["b"], h=params["h"], c=params["classes"],

@@ -27,10 +27,10 @@ from common import print_table
 from repro.core import (
     PivotConfig,
     PivotContext,
-    PivotDecisionTree,
-    PivotGBDT,
-    PivotRandomForest,
-    predict_batch,
+    TreeTrainer,
+    GBDTTrainer,
+    ForestTrainer,
+    run_predict_batch,
 )
 from repro.data import PAPER_DATASETS, vertical_partition
 from repro.tree import (
@@ -64,15 +64,15 @@ def evaluate_dataset(name: str, seed: int) -> dict[str, float]:
 
     out: dict[str, float] = {}
     # -- single trees ------------------------------------------------------
-    pivot_dt = PivotDecisionTree(context).fit()
+    pivot_dt = TreeTrainer(context).fit()
     out["Pivot-DT"] = _score(
-        task, predict_batch(pivot_dt, context, test.features), test.labels
+        task, run_predict_batch(pivot_dt, context, test.features), test.labels
     )
     np_dt = DecisionTree(task, PARAMS).fit(train.features, train.labels)
     out["NP-DT"] = _score(task, np_dt.predict(test.features), test.labels)
 
     # -- random forests ----------------------------------------------------
-    pivot_rf = PivotRandomForest(context, n_trees=N_TREES, seed=seed).fit()
+    pivot_rf = ForestTrainer(context, n_trees=N_TREES, seed=seed).fit()
     out["Pivot-RF"] = _score(task, pivot_rf.predict(test.features), test.labels)
     np_rf = RandomForest(task, n_trees=N_TREES, params=PARAMS, seed=seed).fit(
         train.features, train.labels
@@ -80,7 +80,7 @@ def evaluate_dataset(name: str, seed: int) -> dict[str, float]:
     out["NP-RF"] = _score(task, np_rf.predict(test.features), test.labels)
 
     # -- GBDT ----------------------------------------------------------------
-    pivot_gbdt = PivotGBDT(context, n_rounds=N_TREES, learning_rate=0.5).fit()
+    pivot_gbdt = GBDTTrainer(context, n_rounds=N_TREES, learning_rate=0.5).fit()
     out["Pivot-GBDT"] = _score(task, pivot_gbdt.predict(test.features), test.labels)
     if task == "classification":
         np_gbdt = GBDTClassifier(n_rounds=N_TREES, learning_rate=0.5, params=PARAMS)

@@ -3,31 +3,39 @@
 Adds the centralized-DP mechanisms — noisy pruning counts (secure Laplace,
 Algorithm 5), exponential-mechanism split selection (Algorithm 6), noisy
 leaf statistics — inside the MPC so that the *released model itself* leaks
-only an ε-bounded amount about any individual training sample.
+only an ε-bounded amount about any individual training sample.  With the
+federation API this is the estimator's uniform ``dp=`` hook: the same
+``PivotClassifier`` trains with or without the mechanisms.
 
 Run:  python examples/dp_training.py
 """
 
-from repro import DPConfig, PivotConfig, PivotContext, PivotDecisionTree, predict_batch
-from repro.data import make_classification, vertical_partition
+from repro import DPConfig, Federation, Party, PivotClassifier, PivotConfig
+from repro.data import make_classification
 from repro.tree import TreeParams
 from repro.tree.metrics import accuracy
 
 
 def main() -> None:
     X, y = make_classification(50, 4, n_classes=2, seed=20)
-    partition = vertical_partition(X, y, n_clients=3, task="classification")
     params = TreeParams(max_depth=2, max_splits=3)
+
+    def parties() -> list[Party]:
+        return [
+            Party(X[:, :2], labels=y, name="hospital"),
+            Party(X[:, 2:3], name="lab"),
+            Party(X[:, 3:], name="pharmacy"),
+        ]
 
     print("epsilon | total budget B=2e(h+1) | train accuracy")
     print("--------+----------------------+---------------")
     for epsilon in (0.25, 1.0, 5.0, None):
         dp = None if epsilon is None else DPConfig(epsilon=epsilon)
-        ctx = PivotContext(
-            partition, PivotConfig(keysize=256, tree=params, dp=dp, seed=21)
-        )
-        model = PivotDecisionTree(ctx).fit()
-        acc = accuracy(predict_batch(model, ctx, X), y)
+        with Federation(
+            parties(), config=PivotConfig(keysize=256, tree=params, seed=21)
+        ) as fed:
+            model = PivotClassifier(dp=dp).fit(fed)
+            acc = accuracy(model.predict(fed.slices(X)), y)
         if epsilon is None:
             print(f"  (none) |            --        | {acc:.3f}   <- non-DP")
         else:

@@ -1,16 +1,23 @@
 """Ensemble extensions: Pivot-RF and Pivot-GBDT (paper §7).
 
 Trains a privacy-preserving random forest on a classification task and a
-privacy-preserving GBDT on a regression task (energy prediction), comparing
-both against their non-private counterparts on identical data.
+privacy-preserving GBDT on a regression task (energy prediction) through
+the federation estimators, comparing both against their non-private
+counterparts on identical data.
 
 Run:  python examples/ensemble_models.py
 """
 
 import numpy as np
 
-from repro import PivotConfig, PivotContext, PivotGBDT, PivotRandomForest
-from repro.data import load_appliances_energy, make_classification, vertical_partition
+from repro import (
+    Federation,
+    Party,
+    PivotConfig,
+    PivotForestClassifier,
+    PivotGBDTRegressor,
+)
+from repro.data import load_appliances_energy, make_classification
 from repro.tree import GBDTRegressor, RandomForest, TreeParams
 from repro.tree.metrics import accuracy, mean_squared_error
 
@@ -20,11 +27,19 @@ def main() -> None:
 
     # --- Pivot-RF on a 3-class task ---------------------------------------
     X, y = make_classification(48, 6, n_classes=3, seed=12)
-    partition = vertical_partition(X, y, n_clients=3, task="classification")
-    ctx = PivotContext(partition, PivotConfig(keysize=256, tree=params, seed=5))
+    rf_parties = [
+        Party(X[:, :2], labels=y),
+        Party(X[:, 2:4]),
+        Party(X[:, 4:]),
+    ]
     print("training Pivot-RF (4 trees)...")
-    pivot_rf = PivotRandomForest(ctx, n_trees=4, sample_fraction=0.7, seed=9).fit()
-    rf_acc = accuracy(pivot_rf.predict(X[:24]), y[:24])
+    with Federation(
+        rf_parties, config=PivotConfig(keysize=256, tree=params, seed=5)
+    ) as fed:
+        pivot_rf = PivotForestClassifier(
+            n_trees=4, sample_fraction=0.7, sample_seed=9
+        ).fit(fed)
+        rf_acc = accuracy(pivot_rf.predict(fed.slices(X[:24])), y[:24])
 
     plain_rf = RandomForest(
         "classification", n_trees=4, params=params, sample_fraction=0.7, seed=9
@@ -34,25 +49,28 @@ def main() -> None:
 
     # --- Pivot-GBDT on energy regression -----------------------------------
     energy = load_appliances_energy(200, seed=2).subsample(36, seed=3)
-    partition_r = vertical_partition(
-        energy.features[:, :6], energy.labels, n_clients=3, task="regression"
-    )
-    ctx_r = PivotContext(
-        partition_r, PivotConfig(keysize=256, tree=params, seed=6)
-    )
+    Xr, yr = energy.features[:, :6], energy.labels
+    gbdt_parties = [
+        Party(Xr[:, :2], labels=yr),
+        Party(Xr[:, 2:4]),
+        Party(Xr[:, 4:]),
+    ]
     print("training Pivot-GBDT (3 boosting rounds, encrypted residuals)...")
-    pivot_gbdt = PivotGBDT(ctx_r, n_rounds=3, learning_rate=0.5).fit()
-    gbdt_mse = mean_squared_error(
-        pivot_gbdt.predict(energy.features[:20, :6]), energy.labels[:20]
-    )
+    with Federation(
+        gbdt_parties,
+        task="regression",
+        config=PivotConfig(keysize=256, tree=params, seed=6),
+    ) as fed:
+        pivot_gbdt = PivotGBDTRegressor(n_rounds=3, learning_rate=0.5).fit(fed)
+        gbdt_mse = mean_squared_error(
+            pivot_gbdt.predict(fed.slices(Xr[:20])), yr[:20]
+        )
 
     plain_gbdt = GBDTRegressor(n_rounds=3, learning_rate=0.5, params=params).fit(
-        energy.features[:, :6], energy.labels
+        Xr, yr
     )
-    plain_mse = mean_squared_error(
-        plain_gbdt.predict(energy.features[:20, :6]), energy.labels[:20]
-    )
-    variance = float(np.var(energy.labels[:20]))
+    plain_mse = mean_squared_error(plain_gbdt.predict(Xr[:20]), yr[:20])
+    variance = float(np.var(yr[:20]))
     print(f"  Pivot-GBDT MSE: {gbdt_mse:.1f}   NP-GBDT MSE: {plain_mse:.1f}"
           f"   label variance: {variance:.1f}")
     print("  (the secure ensemble tracks its plaintext twin; residual labels"

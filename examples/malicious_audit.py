@@ -1,49 +1,63 @@
 """Malicious-model training with zero-knowledge audits (paper §9.1).
 
-Every client commits to her split-indicator vectors before training and
+Every party commits to her split-indicator vectors before training and
 proves every local computation (POPK/POPCM/POHDP Σ-protocols); the SPDZ
-layer runs with information-theoretic MACs.  The example shows an honest
-run (which produces exactly the semi-honest protocol's tree) and then two
-cheating clients whose deviations are caught and abort the protocol.
+layer runs with information-theoretic MACs.  With the federation API this
+is the estimator's uniform ``malicious=`` hook.  The example shows an
+honest run (which produces exactly the semi-honest protocol's tree) and
+then two cheating parties whose deviations are caught and abort the
+protocol.
 
 Run:  python examples/malicious_audit.py
 """
 
-from repro import PivotConfig, PivotContext, PivotDecisionTree
-from repro.core import CheatingClient, MaliciousPivotDecisionTree
+from repro import Federation, Party, PivotClassifier, PivotConfig
+from repro.core import CheatingClient
 from repro.crypto.zkp import ProofError
-from repro.data import make_classification, vertical_partition
+from repro.data import make_classification
 from repro.tree import TreeParams
 
 
 def main() -> None:
     X, y = make_classification(16, 3, n_classes=2, seed=9)
-    partition = vertical_partition(X, y, n_clients=3, task="classification")
     params = TreeParams(max_depth=2, max_splits=2)
 
-    print("honest run with full verification...")
-    ctx = PivotContext(
-        partition,
-        PivotConfig(keysize=256, tree=params, seed=2, authenticated_mpc=True),
-    )
-    verified_model = MaliciousPivotDecisionTree(ctx).fit()
+    def parties() -> list[Party]:
+        return [
+            Party(X[:, :1], labels=y),
+            Party(X[:, 1:2]),
+            Party(X[:, 2:]),
+        ]
 
-    semi_ctx = PivotContext(partition, PivotConfig(keysize=256, tree=params, seed=2))
-    semi_model = PivotDecisionTree(semi_ctx).fit()
-    same = verified_model.structure_signature() == semi_model.structure_signature()
+    print("honest run with full verification...")
+    with Federation(
+        parties(),
+        config=PivotConfig(keysize=256, tree=params, seed=2, authenticated_mpc=True),
+    ) as fed:
+        verified = PivotClassifier(malicious=True).fit(fed)
+
+    with Federation(
+        parties(), config=PivotConfig(keysize=256, tree=params, seed=2)
+    ) as fed:
+        semi = PivotClassifier().fit(fed)
+    same = (
+        verified.model_.structure_signature() == semi.model_.structure_signature()
+    )
     print(f"  verified tree equals the semi-honest tree: {same}")
 
     for step in ("stats", "update"):
-        print(f"\nadversarial run: a client lies during the {step!r} step...")
-        cheat_ctx = PivotContext(
-            partition,
-            PivotConfig(keysize=256, tree=params, seed=3, authenticated_mpc=True),
-        )
-        try:
-            CheatingClient(step).train(cheat_ctx)
-            print("  !!! deviation went UNDETECTED (this must never print)")
-        except ProofError as error:
-            print(f"  detected and aborted: {error}")
+        print(f"\nadversarial run: a party lies during the {step!r} step...")
+        with Federation(
+            parties(),
+            config=PivotConfig(
+                keysize=256, tree=params, seed=3, authenticated_mpc=True
+            ),
+        ) as cheat_fed:
+            try:
+                CheatingClient(step).train(cheat_fed.context)
+                print("  !!! deviation went UNDETECTED (this must never print)")
+            except ProofError as error:
+                print(f"  detected and aborted: {error}")
 
 
 if __name__ == "__main__":

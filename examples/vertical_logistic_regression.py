@@ -1,39 +1,42 @@
 """Beyond trees: vertical logistic regression with the same stack (§7.3).
 
 The paper sketches how the TPHE + MPC recipe generalises; this example runs
-the working implementation: encrypted per-client weight blocks, secure
-sigmoid on shares, homomorphic gradient updates — no client ever sees the
-weights, the loss, or another client's features.
+the working implementation behind ``PivotLogisticClassifier``: encrypted
+per-party weight blocks, secure sigmoid on shares, homomorphic gradient
+updates — no party ever sees the weights, the loss, or another party's
+features (the federation enforces the boundary).
 
 Run:  python examples/vertical_logistic_regression.py
 """
 
 import numpy as np
 
-from repro import PivotConfig, PivotContext, PivotLogisticRegression
-from repro.data import vertical_partition
+from repro import Federation, Party, PivotConfig, PivotLogisticClassifier
 
 
 def main() -> None:
     rng = np.random.default_rng(1)
     X = rng.normal(size=(32, 4))
-    # Ground truth: a linear rule over features held by DIFFERENT clients.
+    # Ground truth: a linear rule over features held by DIFFERENT parties.
     y = ((0.8 * X[:, 0] - 1.2 * X[:, 3]) > 0).astype(np.int64)
-    partition = vertical_partition(X, y, n_clients=2, task="classification")
+    parties = [
+        Party(X[:, :2], labels=y, name="telco"),
+        Party(X[:, 2:], name="retailer"),
+    ]
 
-    ctx = PivotContext(partition, PivotConfig(keysize=256, seed=4))
-    model = PivotLogisticRegression(
-        ctx, learning_rate=0.5, n_epochs=4, batch_size=8
-    ).fit()
+    with Federation(parties, config=PivotConfig(keysize=256, seed=4)) as fed:
+        model = PivotLogisticClassifier(
+            learning_rate=0.5, n_epochs=4, batch_size=8
+        ).fit(fed)
 
-    probabilities = model.predict_proba(X[:10])
-    predictions = (probabilities >= 0.5).astype(int)
-    print("probabilities:", np.round(probabilities, 3))
-    print("predictions:  ", list(predictions))
-    print("ground truth: ", list(y[:10]))
-    print("train accuracy:", (model.predict(X) == y).mean())
-    print("\nweights stayed encrypted end to end; only the final class"
-          "\nprobabilities were ever decrypted (jointly).")
+        probabilities = model.predict_proba(fed.slices(X[:10]))
+        predictions = (probabilities >= 0.5).astype(int)
+        print("probabilities:", np.round(probabilities, 3))
+        print("predictions:  ", list(predictions))
+        print("ground truth: ", list(y[:10]))
+        print("train accuracy:", model.score(fed.slices(X), y))
+        print("\nweights stayed encrypted end to end; only the final class"
+              "\nprobabilities were ever decrypted (jointly).")
 
 
 if __name__ == "__main__":

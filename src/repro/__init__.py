@@ -1,18 +1,27 @@
 """repro — a from-scratch reproduction of *Pivot: Privacy Preserving
 Vertical Federated Learning for Tree-based Models* (VLDB 2020).
 
-Public API highlights:
+Primary API — the party-scoped federation facade (:mod:`repro.federation`):
 
-* :class:`repro.core.PivotContext` / :class:`repro.core.PivotConfig` — set
-  up an m-client deployment over a vertical partition.
-* :class:`repro.core.PivotDecisionTree` — basic/enhanced protocol training.
-* :func:`repro.core.predict_basic` / :func:`repro.core.predict_enhanced` —
-  distributed prediction.
-* :class:`repro.core.PivotRandomForest` / :class:`repro.core.PivotGBDT` —
-  the ensemble extensions.
-* :mod:`repro.tree` — the plaintext CART/RF/GBDT baselines.
-* :mod:`repro.baselines` — SPDZ-DT and NPD-DT.
-* :mod:`repro.data` — synthetic generators and simulated paper datasets.
+* :class:`repro.Party` / :class:`repro.Federation` — one object per
+  organisation (her columns, her partial secret key, her bus endpoint; the
+  super client additionally holds the labels) and the orchestrator that
+  runs the joint setup.
+* sklearn-style estimators: :class:`repro.PivotClassifier`,
+  :class:`repro.PivotRegressor`, :class:`repro.PivotForestClassifier`,
+  :class:`repro.PivotGBDTClassifier`, :class:`repro.PivotGBDTRegressor`,
+  :class:`repro.PivotLogisticClassifier` — each with ``fit(parties)`` /
+  ``predict(party_slices)`` / ``score``, a ``protocol=`` switch
+  (``basic``/``enhanced``) and uniform ``dp=``/``malicious=`` hooks.
+
+Deprecated flat API (kept as warning shims): ``PivotDecisionTree``,
+``PivotRandomForest``, ``PivotGBDT``, ``PivotLogisticRegression``,
+``predict_basic`` / ``predict_enhanced`` / ``predict_batch``.
+
+Lower layers: :class:`repro.PivotContext` / :class:`repro.PivotConfig`
+(shared runtime), :mod:`repro.tree` (plaintext CART/RF/GBDT baselines),
+:mod:`repro.baselines` (SPDZ-DT, NPD-DT), :mod:`repro.data` (synthetic
+generators and simulated paper datasets).
 """
 
 from repro.core import (
@@ -27,17 +36,41 @@ from repro.core import (
     predict_batch,
     predict_enhanced,
 )
+from repro.federation import (
+    Federation,
+    LocalityError,
+    LocalView,
+    Party,
+    PivotClassifier,
+    PivotForestClassifier,
+    PivotGBDTClassifier,
+    PivotGBDTRegressor,
+    PivotLogisticClassifier,
+    PivotRegressor,
+    as_party,
+)
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
     "DPConfig",
+    "Federation",
+    "LocalView",
+    "LocalityError",
+    "Party",
+    "PivotClassifier",
     "PivotConfig",
     "PivotContext",
     "PivotDecisionTree",
+    "PivotForestClassifier",
     "PivotGBDT",
+    "PivotGBDTClassifier",
+    "PivotGBDTRegressor",
+    "PivotLogisticClassifier",
     "PivotLogisticRegression",
     "PivotRandomForest",
+    "PivotRegressor",
+    "as_party",
     "predict_basic",
     "predict_batch",
     "predict_enhanced",

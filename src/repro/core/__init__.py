@@ -4,25 +4,49 @@ The paper's primary contribution (§4-§7, §9): basic and enhanced training
 protocols, distributed prediction, RF/GBDT extensions, vertical logistic
 regression, differential privacy, leakage attacks, and the malicious-model
 hardening.
+
+The implementation classes (:class:`TreeTrainer`, :class:`ForestTrainer`,
+:class:`GBDTTrainer`, :class:`LogisticTrainer`, ``run_predict_*``) are
+driven by the party-scoped federation API (:mod:`repro.federation`); the
+``Pivot*`` flat-API names and ``predict_*`` free functions remain as
+deprecation shims that forward to them.
 """
 
 from repro.core.config import DPConfig, PivotConfig
 from repro.core.context import PivotClient, PivotContext
-from repro.core.ensemble import PivotGBDT, PivotRandomForest
+from repro.core.ensemble import (
+    ForestTrainer,
+    GBDTTrainer,
+    PivotGBDT,
+    PivotRandomForest,
+)
 from repro.core.leakage import (
     AttackResult,
     feature_inference_attack,
     label_inference_attack,
 )
-from repro.core.logistic import PivotLogisticRegression
+from repro.core.logistic import LogisticTrainer, PivotLogisticRegression
 from repro.core.malicious import CheatingClient, MaliciousPivotDecisionTree
-from repro.core.prediction import predict_basic, predict_batch, predict_enhanced
-from repro.core.trainer import PivotDecisionTree
+from repro.core.prediction import (
+    enhanced_prediction_share,
+    local_slices_for_sample,
+    predict_basic,
+    predict_batch,
+    predict_enhanced,
+    run_predict_basic,
+    run_predict_batch,
+    run_predict_batch_slices,
+    run_predict_enhanced,
+)
+from repro.core.trainer import PivotDecisionTree, TreeTrainer
 
 __all__ = [
     "AttackResult",
     "CheatingClient",
     "DPConfig",
+    "ForestTrainer",
+    "GBDTTrainer",
+    "LogisticTrainer",
     "MaliciousPivotDecisionTree",
     "PivotClient",
     "PivotConfig",
@@ -31,9 +55,16 @@ __all__ = [
     "PivotGBDT",
     "PivotLogisticRegression",
     "PivotRandomForest",
+    "TreeTrainer",
+    "enhanced_prediction_share",
     "feature_inference_attack",
     "label_inference_attack",
+    "local_slices_for_sample",
     "predict_basic",
     "predict_batch",
     "predict_enhanced",
+    "run_predict_basic",
+    "run_predict_batch",
+    "run_predict_batch_slices",
+    "run_predict_enhanced",
 ]

@@ -1,0 +1,15 @@
+"""Shared helper for the flat-API deprecation shims."""
+
+from __future__ import annotations
+
+import warnings
+
+__all__ = ["warn_deprecated"]
+
+
+def warn_deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} (see repro.federation)",
+        DeprecationWarning,
+        stacklevel=3,
+    )

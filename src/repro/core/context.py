@@ -20,6 +20,7 @@ from repro.crypto.batch import BatchCryptoEngine
 from repro.crypto.encoding import EncryptedNumber, PaillierEncoder
 from repro.crypto.threshold import ThresholdPaillier, generate_threshold_keypair
 from repro.data.partition import VerticalPartition
+from repro.federation.locality import LocalView, as_party
 from repro.mpc.advanced import FixedPointOps
 from repro.mpc.conversion import (
     ConversionCounters,
@@ -39,15 +40,32 @@ __all__ = ["PivotClient", "PivotContext"]
 
 @dataclass
 class PivotClient:
-    """One client u_i: her local features and candidate splits (§3.1)."""
+    """One client u_i: her local features and candidate splits (§3.1).
+
+    ``features`` is a :class:`~repro.federation.locality.LocalView`: the
+    columns are readable only inside this client's party scope when the
+    deployment enforces locality (``strict_locality=True``).  The indicator
+    helpers — the client's own local computations whose *outputs* enter the
+    protocol — run inside :meth:`local` themselves.  ``split_values`` are
+    derived local data too, but the basic protocol reveals the chosen
+    threshold at every split, so they stay unguarded plaintext.
+    """
 
     index: int
-    features: np.ndarray  # n x d_i, client-local columns
+    features: LocalView  # n x d_i, client-local columns (read-guarded)
     split_values: list[list[float]]  # per local feature, <= b thresholds
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.features, LocalView):
+            self.features = LocalView(self.features, self.index)
 
     @property
     def n_features(self) -> int:
         return self.features.shape[1]
+
+    def local(self):
+        """Scope marking a block as this client's own computation."""
+        return as_party(self.index)
 
     def n_splits(self, feature: int) -> int:
         return len(self.split_values[feature])
@@ -55,13 +73,25 @@ class PivotClient:
     def indicator(self, feature: int, split: int) -> np.ndarray:
         """v_l for the split: 1 where sample's value <= threshold (§4.1)."""
         threshold = self.split_values[feature][split]
-        return (self.features[:, feature] <= threshold).astype(np.int64)
+        with self.local():
+            column = self.features.read()[:, feature]
+        return (column <= threshold).astype(np.int64)
 
     def indicator_matrix(self, feature: int) -> np.ndarray:
         """V (n x n'): columns are the v_l vectors of one feature (§5.2)."""
         return np.column_stack(
             [self.indicator(feature, s) for s in range(self.n_splits(feature))]
         )
+
+    def local_row(self, t: int) -> np.ndarray:
+        """This client's feature slice of training sample ``t``.
+
+        Used by joint prediction over *training* rows (GBDT residual
+        updates): each client contributes her own columns, read inside her
+        scope — the replacement for reassembling a global matrix.
+        """
+        with self.local():
+            return np.asarray(self.features.read()[t], dtype=np.float64)
 
 
 class PivotContext:
@@ -102,19 +132,36 @@ class PivotContext:
             ),
         )
         self.conversions = ConversionCounters()
-        self.clients = [
-            PivotClient(
-                index=i,
-                features=partition.local_features[i],
-                split_values=[
-                    candidate_splits(
-                        partition.local_features[i][:, j], self.config.tree.max_splits
-                    )
-                    for j in range(partition.local_features[i].shape[1])
-                ],
+        #: Enforced party boundary: feature/label reads go through
+        #: LocalViews, which raise outside the owner's scope when strict.
+        #: An unset config flag (None) means legacy unguarded behaviour
+        #: here; the Federation resolves unset to True before building us.
+        self.strict_locality = bool(self.config.strict_locality)
+        self.clients = []
+        for i in range(m):
+            view = LocalView(
+                partition.local_features[i],
+                i,
+                name="features",
+                strict=self.strict_locality,
             )
-            for i in range(m)
-        ]
+            with as_party(i):  # candidate splits are client-local analysis
+                split_values = [
+                    candidate_splits(
+                        view.read()[:, j], self.config.tree.max_splits
+                    )
+                    for j in range(view.shape[1])
+                ]
+            self.clients.append(
+                PivotClient(index=i, features=view, split_values=split_values)
+            )
+        #: The labels, owned by the super client alone (§3.1).
+        self.labels = LocalView(
+            partition.labels,
+            partition.super_client,
+            name="labels",
+            strict=self.strict_locality,
+        )
         #: Everything any protocol run reveals in plaintext, as (tag, value)
         #: pairs; privacy tests assert nothing else leaks.
         self.revealed: list[tuple[str, object]] = []
@@ -132,6 +179,11 @@ class PivotContext:
     @property
     def super_client(self) -> int:
         return self.partition.super_client
+
+    def read_labels(self) -> np.ndarray:
+        """The label vector, read as the super client (her own data)."""
+        with as_party(self.super_client):
+            return self.labels.read()
 
     @property
     def ciphertext_bytes(self) -> int:

@@ -20,16 +20,25 @@ exponent stays bounded.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.core.context import PivotContext
 from repro.crypto.encoding import EncryptedNumber, encrypted_dot_product
 
-__all__ = ["PivotLogisticRegression"]
+__all__ = ["LogisticTrainer", "PivotLogisticRegression"]
 
 
-class PivotLogisticRegression:
-    """Binary logistic regression over a vertical partition."""
+class LogisticTrainer:
+    """Binary logistic regression over a vertical partition.
+
+    The implementation behind
+    :class:`repro.federation.PivotLogisticClassifier` (and the deprecated
+    :class:`PivotLogisticRegression` flat-API shim).  Unlike the trees there
+    is no released model to protect, so the basic/enhanced distinction does
+    not arise: weights and losses are hidden end to end either way.
+    """
 
     def __init__(
         self,
@@ -52,9 +61,9 @@ class PivotLogisticRegression:
 
     # ------------------------------------------------------------------
 
-    def fit(self) -> "PivotLogisticRegression":
+    def fit(self) -> "LogisticTrainer":
         ctx, fx = self.ctx, self.ctx.fx
-        labels = np.asarray(ctx.partition.labels, dtype=np.int64)
+        labels = np.asarray(ctx.read_labels(), dtype=np.int64)
         if set(np.unique(labels)) - {0, 1}:
             raise ValueError("binary labels {0,1} required")
         n = ctx.n_samples
@@ -84,9 +93,10 @@ class PivotLogisticRegression:
         for t in batch:
             total = None
             for client, block in zip(ctx.clients, self.weights):
+                with client.local():
+                    row = client.features.read()[t]
                 coefficients = [
-                    ctx.encoder.encode(float(v)).encoding
-                    for v in client.features[t]
+                    ctx.encoder.encode(float(v)).encoding for v in row
                 ]
                 partial = encrypted_dot_product(coefficients, block)
                 total = partial if total is None else total + partial
@@ -112,15 +122,17 @@ class PivotLogisticRegression:
         loss_cts = [ctx.to_cipher(loss) for loss in losses]
         scale = self.learning_rate / len(batch)
         for client, block in zip(ctx.clients, self.weights):
-            for j in range(client.n_features):
-                gradient = None
-                for t, loss_ct in zip(batch, loss_cts):
-                    coefficient = ctx.encoder.encode(
-                        -scale * float(client.features[t][j])
-                    )
-                    term = loss_ct * coefficient
-                    gradient = term if gradient is None else gradient + term
-                block[j] = block[j] + gradient
+            with client.local():
+                local = client.features.read()
+                for j in range(client.n_features):
+                    gradient = None
+                    for t, loss_ct in zip(batch, loss_cts):
+                        coefficient = ctx.encoder.encode(
+                            -scale * float(local[t][j])
+                        )
+                        term = loss_ct * coefficient
+                        gradient = term if gradient is None else gradient + term
+                    block[j] = block[j] + gradient
 
     def _refresh_weights(self) -> None:
         """Share round-trip keeping exponents at -2F and stripping q-wraps."""
@@ -140,21 +152,31 @@ class PivotLogisticRegression:
     # ------------------------------------------------------------------
 
     def predict_proba(self, rows: np.ndarray) -> np.ndarray:
-        """Joint prediction: encrypted partial sums -> secure sigmoid."""
+        """Joint prediction over caller-held global rows."""
+        from repro.core.prediction import global_rows_to_party_slices
+
+        return self.predict_proba_slices(
+            global_rows_to_party_slices(self.ctx, rows)
+        )
+
+    def predict_proba_slices(self, party_slices: list[np.ndarray]) -> np.ndarray:
+        """Joint prediction from per-party feature blocks: encrypted
+        partial sums -> secure sigmoid (federation-native input)."""
         if self.weights is None:
             raise RuntimeError("fit() must be called before predict()")
         ctx, fx = self.ctx, self.ctx.fx
-        rows = np.asarray(rows, dtype=np.float64)
+        # Validates sample-count agreement and per-party column widths.
+        from repro.core.prediction import _slices_per_row
+
+        rows = _slices_per_row(ctx, party_slices)
         xi_cts = []
-        for row in rows:
+        for slices in rows:
             total = None
-            for client, cols, block in zip(
-                ctx.clients, ctx.partition.columns_per_client, self.weights
-            ):
+            for client, local, block_w in zip(ctx.clients, slices, self.weights):
                 coefficients = [
-                    ctx.encoder.encode(float(row[c])).encoding for c in cols
+                    ctx.encoder.encode(float(v)).encoding for v in local
                 ]
-                partial = encrypted_dot_product(coefficients, block)
+                partial = encrypted_dot_product(coefficients, block_w)
                 total = partial if total is None else total + partial
             xi_cts.append(total)
         z_shares = ctx.to_shares(xi_cts)
@@ -166,3 +188,19 @@ class PivotLogisticRegression:
 
     def predict(self, rows: np.ndarray) -> np.ndarray:
         return (self.predict_proba(rows) >= 0.5).astype(np.int64)
+
+    def predict_slices(self, party_slices: list[np.ndarray]) -> np.ndarray:
+        return (self.predict_proba_slices(party_slices) >= 0.5).astype(np.int64)
+
+
+class PivotLogisticRegression(LogisticTrainer):
+    """Deprecated flat-API name for :class:`LogisticTrainer`."""
+
+    def __init__(self, context, learning_rate=0.5, n_epochs=3, batch_size=16):
+        warnings.warn(
+            "PivotLogisticRegression is deprecated; use repro.federation."
+            "PivotLogisticClassifier (or LogisticTrainer directly)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(context, learning_rate, n_epochs, batch_size)

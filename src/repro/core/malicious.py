@@ -29,7 +29,7 @@ import numpy as np
 
 from repro.core.context import PivotContext
 from repro.core.labels import PlaintextLabelProvider
-from repro.core.trainer import PivotDecisionTree
+from repro.core.trainer import TreeTrainer
 from repro.crypto import zkp
 from repro.crypto.encoding import EncryptedNumber
 from repro.crypto.paillier import Ciphertext, dot_product
@@ -166,7 +166,7 @@ class VerifiedLabelProvider(PlaintextLabelProvider):
         return result
 
 
-class MaliciousPivotDecisionTree(PivotDecisionTree):
+class MaliciousPivotDecisionTree(TreeTrainer):
     """Basic-protocol training hardened per §9.1.2.
 
     Requires ``PivotConfig(authenticated_mpc=True)`` so the SPDZ layer
@@ -180,7 +180,7 @@ class MaliciousPivotDecisionTree(PivotDecisionTree):
             )
         if label_provider is None:
             label_provider = VerifiedLabelProvider(
-                context, context.partition.labels, context.partition.task
+                context, context.read_labels(), context.partition.task
             )
         super().__init__(context, label_provider)
         self.cheat = cheat

@@ -13,35 +13,116 @@ thresholds and leaf labels exist only in secretly shared form; feature
 values are secret-shared by their owners, a marker is propagated from the
 root with one secure comparison per internal node, and the prediction is
 the inner product ⟨z⟩·⟨η⟩, revealed alone.
+
+Party locality: every entry point takes the sample as *per-party slices* —
+each client's own columns of the row, exactly what a real deployment's
+parties would hold.  ``party_slices`` (one ``n × d_i`` block per client)
+is the federation API's native input; the ``row``-based wrappers split a
+caller-supplied global row for single-process convenience (the caller owns
+that row — splitting it reads no party's stored columns).  Training rows
+are sliced with :func:`local_slices_for_sample`, which reads each client's
+columns inside her own party scope.
+
+The public ``predict_basic`` / ``predict_enhanced`` / ``predict_batch``
+names are deprecation shims for the pre-federation flat API; new code goes
+through :class:`repro.federation.PivotClassifier` /
+:class:`~repro.federation.PivotRegressor` (or the ``run_predict_*``
+internals these shims forward to).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.core._deprecation import warn_deprecated as _warn_deprecated
 from repro.core.context import PivotContext
 from repro.crypto.encoding import EncryptedNumber, encrypted_dot_product
 from repro.mpc import comparison
 from repro.tree.model import DecisionTreeModel, TreeNode
 
 __all__ = [
+    "enhanced_prediction_share",
+    "global_rows_to_party_slices",
+    "local_slices_for_sample",
     "predict_basic",
     "predict_basic_encrypted",
-    "predict_enhanced",
     "predict_batch",
+    "predict_enhanced",
+    "run_predict_basic",
+    "run_predict_batch",
+    "run_predict_batch_slices",
+    "run_predict_enhanced",
 ]
 
 
+# ---------------------------------------------------------------------------
+# sample slicing
+# ---------------------------------------------------------------------------
+
+
 def _local_slices(context: PivotContext, row: np.ndarray) -> list[np.ndarray]:
-    """Distribute a global feature row to the clients' local views."""
+    """Split a caller-supplied global feature row into per-party slices."""
     return [
         np.asarray([row[c] for c in cols], dtype=np.float64)
         for cols in context.partition.columns_per_client
     ]
 
 
-def predict_basic_encrypted(
-    model: DecisionTreeModel, context: PivotContext, row: np.ndarray
+def global_rows_to_party_slices(
+    context: PivotContext, rows: np.ndarray
+) -> list[np.ndarray]:
+    """Split caller-held global rows into per-party column blocks.
+
+    The single source of truth for the column assignment when a
+    single-process caller holds the full matrix (prediction wrappers,
+    ``Federation.slices``); real deployments pass per-party blocks
+    directly.
+    """
+    rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
+    return [
+        rows[:, list(cols)] for cols in context.partition.columns_per_client
+    ]
+
+
+def local_slices_for_sample(context: PivotContext, t: int) -> list[np.ndarray]:
+    """Per-party slices of *training* sample ``t``.
+
+    Each client reads her own columns inside her party scope — the
+    locality-respecting replacement for reassembling a global training
+    matrix in one place.
+    """
+    return [client.local_row(t) for client in context.clients]
+
+
+def _slices_per_row(
+    context: PivotContext, party_slices: list[np.ndarray]
+) -> list[list[np.ndarray]]:
+    """Transpose per-party blocks (m arrays of n × d_i) into per-row slices."""
+    blocks = [np.atleast_2d(np.asarray(block, dtype=np.float64)) for block in party_slices]
+    if len(blocks) != context.n_clients:
+        raise ValueError(
+            f"expected {context.n_clients} per-party feature blocks, "
+            f"got {len(blocks)}"
+        )
+    n = blocks[0].shape[0]
+    for client, block in zip(context.clients, blocks):
+        if block.shape[0] != n:
+            raise ValueError("per-party blocks disagree on sample count")
+        if block.shape[1] != client.n_features:
+            raise ValueError(
+                f"party {client.index} block has {block.shape[1]} columns, "
+                f"she owns {client.n_features}"
+            )
+    return [[block[t] for block in blocks] for t in range(n)]
+
+
+# ---------------------------------------------------------------------------
+# basic protocol (Algorithm 4)
+# ---------------------------------------------------------------------------
+
+
+def predict_basic_encrypted_slices(
+    model: DecisionTreeModel, context: PivotContext, slices: list[np.ndarray]
 ) -> EncryptedNumber:
     """Algorithm 4 up to (excluding) the final joint decryption.
 
@@ -49,7 +130,6 @@ def predict_basic_encrypted(
     per-tree predictions before anything is revealed (§7).
     """
     ctx = context
-    slices = _local_slices(ctx, row)
     leaves = model.leaves()
     paths = model.leaf_paths()
 
@@ -65,7 +145,7 @@ def predict_basic_encrypted(
                 if node.threshold is None or node.feature is None:
                     raise ValueError(
                         "basic prediction needs a plaintext tree; use "
-                        "predict_enhanced for hidden models"
+                        "the enhanced prediction for hidden models"
                     )
                 goes_left = local[node.feature] <= node.threshold
                 matches = (direction == 0) == goes_left
@@ -91,7 +171,14 @@ def predict_basic_encrypted(
     return ctx.encoder.wrap(result.ciphertext, exponent)
 
 
-def predict_basic(
+def predict_basic_encrypted(
+    model: DecisionTreeModel, context: PivotContext, row: np.ndarray
+) -> EncryptedNumber:
+    """`predict_basic_encrypted_slices` over a caller-held global row."""
+    return predict_basic_encrypted_slices(model, context, _local_slices(context, row))
+
+
+def run_predict_basic(
     model: DecisionTreeModel, context: PivotContext, row: np.ndarray
 ) -> float | int:
     """Full Algorithm 4: encrypted round-robin + joint decryption."""
@@ -102,16 +189,24 @@ def predict_basic(
     return float(value)
 
 
-def predict_enhanced(
-    model: DecisionTreeModel, context: PivotContext, row: np.ndarray
-) -> float | int:
-    """§5.2 prediction over the secretly shared model."""
+# ---------------------------------------------------------------------------
+# enhanced protocol (§5.2)
+# ---------------------------------------------------------------------------
+
+
+def enhanced_prediction_share(
+    model: DecisionTreeModel, context: PivotContext, slices: list[np.ndarray]
+):
+    """§5.2 prediction kept in shared form: returns (⟨k̄⟩, label_scale).
+
+    The building block for both single predictions (open the share) and
+    ensemble aggregation (combine shares of several trees before anything
+    is revealed).  Raises if the hidden leaves carry mixed label scales:
+    the shared inner product sums over the leaves, so only a uniform scale
+    can be applied after opening.
+    """
     ctx, fx = context, context.fx
     engine = ctx.engine
-    slices = _local_slices(ctx, row)
-
-    # Owners secret-share the feature value at every internal node.
-    markers: dict[int, object] = {}
 
     def walk(node: TreeNode, marker) -> list:
         if node.is_leaf:
@@ -136,23 +231,113 @@ def predict_enhanced(
         eta.append(marker)
         z_shares.append(label_share)
         scales.append(node.hidden.get("label_scale", 1.0))
-    prediction_share = engine.inner_product(eta, z_shares)
-    value = ctx.open_value(prediction_share, tag="prediction-output")
-    if model.task == "classification":
-        return int(round(value))
-    # The inner product sums over the leaves, so a single label scale must
-    # apply to all of them.  Training guarantees this (one provider per
-    # tree); hand-built models with mixed per-leaf scales cannot be
-    # rescaled after the sum, so refuse rather than silently apply
-    # scales[0] to every leaf.
     scale = scales[0] if scales else 1.0
+    # A single label scale must apply to all leaves: the inner product sums
+    # over them, and mixed per-leaf scales cannot be rescaled after the
+    # sum.  Training guarantees uniformity (one provider per tree);
+    # hand-built models that violate it are refused rather than silently
+    # rescaled by scales[0].
     mixed = {s for s in scales if s != scale}
     if mixed:
         raise ValueError(
             f"enhanced model has mixed per-leaf label scales {sorted(mixed | {scale})}; "
             "the shared inner product admits only a uniform scale"
         )
+    return engine.inner_product(eta, z_shares), scale
+
+
+def run_predict_enhanced(
+    model: DecisionTreeModel,
+    context: PivotContext,
+    row: np.ndarray | None = None,
+    slices: list[np.ndarray] | None = None,
+) -> float | int:
+    """§5.2 prediction over the secretly shared model (opens one value)."""
+    if slices is None:
+        if row is None:
+            raise ValueError("need a global row or per-party slices")
+        slices = _local_slices(context, np.asarray(row))
+    prediction_share, scale = enhanced_prediction_share(model, context, slices)
+    value = context.open_value(prediction_share, tag="prediction-output")
+    if model.task == "classification":
+        return int(round(value))
     return float(value * scale)
+
+
+# ---------------------------------------------------------------------------
+# batched prediction
+# ---------------------------------------------------------------------------
+
+
+def run_predict_batch_slices(
+    model: DecisionTreeModel,
+    context: PivotContext,
+    party_slices: list[np.ndarray],
+    protocol: str = "basic",
+) -> np.ndarray:
+    """Predict many samples from per-party feature blocks.
+
+    ``party_slices`` is the federation-native input: one ``n × d_i`` block
+    per client, each holding only that party's columns.  Basic prediction
+    batches the per-row joint decryptions: the n encrypted outputs [k̄] go
+    through one threshold-decryption fan-out (``joint_decrypt_batch``)
+    instead of n serial ones — identical Ce/Cd op counts and results, one
+    message flow.
+    """
+    rows = _slices_per_row(context, party_slices)
+    if protocol == "basic":
+        encrypted = [
+            predict_basic_encrypted_slices(model, context, slices)
+            for slices in rows
+        ]
+        values = context.joint_decrypt_batch(encrypted, tag="prediction-output")
+        if model.task == "classification":
+            out = [int(round(v)) for v in values]
+        else:
+            out = [float(v) for v in values]
+    elif protocol == "enhanced":
+        out = [
+            run_predict_enhanced(model, context, slices=slices) for slices in rows
+        ]
+    else:
+        raise ValueError(f"unknown protocol {protocol!r}")
+    if model.task == "classification":
+        return np.asarray(out, dtype=np.int64)
+    return np.asarray(out, dtype=np.float64)
+
+
+def run_predict_batch(
+    model: DecisionTreeModel,
+    context: PivotContext,
+    rows: np.ndarray,
+    protocol: str = "basic",
+) -> np.ndarray:
+    """`run_predict_batch_slices` over caller-held global rows."""
+    party_slices = global_rows_to_party_slices(context, rows)
+    return run_predict_batch_slices(model, context, party_slices, protocol)
+
+
+# ---------------------------------------------------------------------------
+# deprecated flat-API entry points
+# ---------------------------------------------------------------------------
+
+
+def predict_basic(
+    model: DecisionTreeModel, context: PivotContext, row: np.ndarray
+) -> float | int:
+    """Deprecated: use the federation estimators (or run_predict_basic)."""
+    _warn_deprecated("predict_basic", "PivotClassifier/PivotRegressor.predict")
+    return run_predict_basic(model, context, row)
+
+
+def predict_enhanced(
+    model: DecisionTreeModel, context: PivotContext, row: np.ndarray
+) -> float | int:
+    """Deprecated: use the federation estimators (or run_predict_enhanced)."""
+    _warn_deprecated(
+        "predict_enhanced", "PivotClassifier(protocol='enhanced').predict"
+    )
+    return run_predict_enhanced(model, context, row)
 
 
 def predict_batch(
@@ -161,26 +346,6 @@ def predict_batch(
     rows: np.ndarray,
     protocol: str = "basic",
 ) -> np.ndarray:
-    """Predict many samples with the chosen protocol.
-
-    Basic prediction batches the per-row joint decryptions: the n
-    encrypted outputs [k̄] go through one threshold-decryption fan-out
-    (``joint_decrypt_batch``) instead of n serial ones — identical Ce/Cd
-    op counts and results, one message flow.
-    """
-    if protocol == "basic":
-        encrypted = [
-            predict_basic_encrypted(model, context, row) for row in np.asarray(rows)
-        ]
-        values = context.joint_decrypt_batch(encrypted, tag="prediction-output")
-        if model.task == "classification":
-            out = [int(round(v)) for v in values]
-        else:
-            out = [float(v) for v in values]
-    elif protocol == "enhanced":
-        out = [predict_enhanced(model, context, row) for row in np.asarray(rows)]
-    else:
-        raise ValueError(f"unknown protocol {protocol!r}")
-    if model.task == "classification":
-        return np.asarray(out, dtype=np.int64)
-    return np.asarray(out, dtype=np.float64)
+    """Deprecated: use the federation estimators (or run_predict_batch)."""
+    _warn_deprecated("predict_batch", "PivotClassifier/PivotRegressor.predict")
+    return run_predict_batch(model, context, rows, protocol)

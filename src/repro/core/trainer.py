@@ -30,6 +30,8 @@ selection (Algorithm 6) and noisy leaf statistics.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.core.config import PivotConfig
@@ -40,7 +42,7 @@ from repro.crypto.encoding import EncryptedNumber, encrypted_dot_product
 from repro.mpc.sharing import SharedValue
 from repro.tree.model import DecisionTreeModel, TreeNode
 
-__all__ = ["PivotDecisionTree", "SECURE_GAIN_EPS"]
+__all__ = ["PivotDecisionTree", "TreeTrainer", "SECURE_GAIN_EPS"]
 
 #: Fixed-point slack added to the leaf threshold: a node becomes a leaf iff
 #: max gain <= min_gain + eps.  Protocol-equivalence with plaintext CART
@@ -48,8 +50,13 @@ __all__ = ["PivotDecisionTree", "SECURE_GAIN_EPS"]
 SECURE_GAIN_EPS = 2.0**-9
 
 
-class PivotDecisionTree:
-    """One privacy-preserving CART training run over a PivotContext."""
+class TreeTrainer:
+    """One privacy-preserving CART training run over a PivotContext.
+
+    The implementation behind :class:`repro.federation.PivotClassifier` /
+    :class:`~repro.federation.PivotRegressor` (and the deprecated
+    :class:`PivotDecisionTree` flat-API shim).
+    """
 
     def __init__(
         self,
@@ -62,7 +69,7 @@ class PivotDecisionTree:
         self.engine = context.engine
         if label_provider is None:
             label_provider = PlaintextLabelProvider(
-                context, context.partition.labels, context.partition.task
+                context, context.read_labels(), context.partition.task
             )
         self.provider = label_provider
         self.task = label_provider.task
@@ -493,6 +500,24 @@ class PivotDecisionTree:
             count = len(split.left)
             split.left = masked[2 : 2 + count]
             split.right = masked[2 + count :]
+
+
+class PivotDecisionTree(TreeTrainer):
+    """Deprecated flat-API name for :class:`TreeTrainer`.
+
+    Forwards unchanged (bit-identical models); new code uses the
+    federation estimators, which add the party boundary and the
+    protocol/dp/malicious switches in one place.
+    """
+
+    def __init__(self, context, label_provider=None):
+        warnings.warn(
+            "PivotDecisionTree is deprecated; use repro.federation."
+            "PivotClassifier / PivotRegressor (or TreeTrainer directly)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(context, label_provider)
 
 
 def _child_available(

@@ -1,0 +1,158 @@
+"""The Party abstraction: one organisation in a vertical federation (§3.1).
+
+A party owns exactly one client's feature columns (behind a
+:class:`~repro.federation.locality.LocalView` read guard), her partial
+threshold-Paillier secret key, and a :class:`PartyEndpoint` on the message
+bus.  The *super client* party additionally owns the label vector.  A
+party is constructed with raw local data and *bound* by the
+:class:`~repro.federation.federation.Federation` during assembly, which
+assigns the index, the global column ids, the key share, and the endpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.federation.locality import LocalView, as_party
+
+__all__ = ["Party", "PartyEndpoint"]
+
+
+@dataclass
+class PartyEndpoint:
+    """A party's handle on the transport: send/receive as herself.
+
+    Thin binding of the shared :class:`~repro.network.bus.MessageBus` to
+    one party index — the deployment-shaped API (each party only ever
+    addresses messages *from herself* and reads *her own* inbox).
+    """
+
+    bus: object
+    index: int
+
+    def send(self, receiver: int, payload, tag: str = "") -> int:
+        """Serialize and route ``payload`` to ``receiver``; returns bytes."""
+        return self.bus.send_payload(self.index, receiver, payload, tag=tag)
+
+    def broadcast(self, payload, tag: str = "") -> int:
+        """Send ``payload`` to every other party; returns per-receiver bytes."""
+        return self.bus.broadcast_payload(self.index, payload, tag=tag)
+
+    def receive(self, tag: str | None = None):
+        """Pop and decode this party's oldest pending message."""
+        return self.bus.receive(self.index, tag=tag)
+
+    def pending(self) -> int:
+        return self.bus.transport.pending(self.index)
+
+
+class Party:
+    """One organisation: her columns, her key share, her bus endpoint.
+
+    Build with the raw local data::
+
+        bank    = Party(X_bank, labels=y, name="bank")     # super client
+        fintech = Party(X_fintech, name="fintech")
+
+    and hand the list to :class:`~repro.federation.federation.Federation`,
+    which performs the joint setup (key generation, MPC preprocessing,
+    candidate splits) and binds each party to her runtime identity.  After
+    binding, :attr:`features` / :attr:`labels` are strict
+    :class:`~repro.federation.locality.LocalView` guards — reading them
+    outside this party's scope raises
+    :class:`~repro.federation.locality.LocalityError` when the federation
+    enforces locality.
+    """
+
+    def __init__(
+        self,
+        features: np.ndarray,
+        *,
+        labels: np.ndarray | None = None,
+        name: str | None = None,
+    ):
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2:
+            raise ValueError("party features must be a 2-D (n x d_i) array")
+        self._raw_features = features
+        self._raw_labels = None if labels is None else np.asarray(labels)
+        if self._raw_labels is not None and len(self._raw_labels) != len(features):
+            raise ValueError("features and labels disagree on sample count")
+        self.name = name
+        # Assigned by Federation._bind():
+        self.index: int | None = None
+        self.columns: tuple[int, ...] | None = None
+        self.key_share = None
+        self.endpoint: PartyEndpoint | None = None
+        self._features_view: LocalView | None = None
+        self._labels_view: LocalView | None = None
+
+    # -- pre-binding facts -------------------------------------------------
+
+    @property
+    def n_samples(self) -> int:
+        return self._raw_features.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        return self._raw_features.shape[1]
+
+    @property
+    def holds_labels(self) -> bool:
+        return self._raw_labels is not None
+
+    @property
+    def is_bound(self) -> bool:
+        return self.index is not None
+
+    @property
+    def is_super(self) -> bool:
+        return self.holds_labels
+
+    # -- bound identity ----------------------------------------------------
+
+    def _bind(
+        self,
+        index: int,
+        columns: tuple[int, ...],
+        features_view: LocalView,
+        labels_view: LocalView | None,
+        key_share,
+        endpoint: PartyEndpoint,
+    ) -> None:
+        self.index = index
+        self.columns = columns
+        self._features_view = features_view
+        self._labels_view = labels_view
+        self.key_share = key_share
+        self.endpoint = endpoint
+
+    @property
+    def features(self):
+        """This party's columns: a read-guarded view once federated."""
+        if self._features_view is not None:
+            return self._features_view
+        return self._raw_features
+
+    @property
+    def labels(self):
+        """The label vector (super client only), read-guarded once federated."""
+        if self._labels_view is not None:
+            return self._labels_view
+        return self._raw_labels
+
+    def local(self):
+        """Scope marking a block as this party's own computation."""
+        if self.index is None:
+            raise RuntimeError("party is not federated yet")
+        return as_party(self.index)
+
+    def __repr__(self) -> str:
+        label = f" name={self.name!r}" if self.name else ""
+        bound = f" index={self.index}" if self.is_bound else " (unbound)"
+        role = " super" if self.holds_labels else ""
+        return (
+            f"Party(d_i={self.n_features}, n={self.n_samples}{label}{bound}{role})"
+        )

@@ -8,6 +8,15 @@ format, routed to the receivers' inboxes by a pluggable
 :class:`~repro.network.transport.Transport`, and accounted at its
 **measured** size (``len(serialize(payload))``).
 
+Delivery is **drain-based**: receivers actually consume their inboxes.
+:meth:`MessageBus.receive` pops a party's oldest message and decodes it
+back into protocol objects through the codec (the threshold-decryption
+flow does this for every receiver), and :meth:`MessageBus.round` — the
+synchronisation barrier — drains whatever a flow did not decode
+explicitly.  End of training therefore implies empty inboxes
+(:meth:`MessageBus.assert_drained`), which the federation API and the
+network tests check after every run.
+
 This replaces the seed's accounting-only bus, whose hand-maintained
 ``n_bytes`` formulas had drifted from the protocol (an (m−1) double-count
 on Algorithm 2 conversions; threshold decryptions missing their m
@@ -40,11 +49,6 @@ from repro.network.transport import Envelope, InMemoryTransport, Transport
 from repro.network.wire import WireCodec
 
 __all__ = ["NetworkModel", "MessageBus"]
-
-#: Default per-receiver inbox bound for the bus-owned transport: in the
-#: single-process simulation nothing consumes the inboxes, so retention is
-#: capped (accounting happens at delivery time and is unaffected).
-DEFAULT_INBOX_CAPACITY = 256
 
 
 @dataclass(frozen=True)
@@ -86,10 +90,12 @@ class MessageBus:
         self.n_parties = n_parties
         self.model = model or NetworkModel()
         self.codec = codec
-        self.transport = transport or InMemoryTransport(
-            n_parties, capacity=DEFAULT_INBOX_CAPACITY
-        )
+        # Delivery is drain-based: receivers consume their inboxes — either
+        # explicitly (receive) or at the next synchronisation round — so the
+        # default transport no longer needs a retention cap.
+        self.transport = transport or InMemoryTransport(n_parties)
         self.messages = 0
+        self.consumed = 0
         self.bytes = 0
         self.bytes_measured = 0
         self.bytes_estimated = 0
@@ -150,6 +156,70 @@ class MessageBus:
             self.by_tag[tag] += len(data) * count
         return len(data)
 
+    # -- drain-based receiving ----------------------------------------------
+
+    def receive(self, party: int, tag: str | None = None):
+        """Pop ``party``'s oldest pending message and decode it.
+
+        The receiving half of the payload API: the wire bytes routed by
+        :meth:`send_payload` / :meth:`broadcast_payload` are deserialized
+        back into protocol objects through the same
+        :class:`~repro.network.wire.WireCodec`, so a payload send is real
+        data flow, not just accounting.  With ``tag`` the oldest message
+        must carry that tag (protocol flows are strictly ordered per
+        receiver; a mismatch means a flow forgot to consume its messages).
+
+        Raises :class:`LookupError` when the inbox is empty.
+        """
+        if self.codec is None:
+            raise ValueError(
+                "bus was built without a WireCodec; cannot decode payloads"
+            )
+        # Validate before consuming: a rejected message stays queued (and
+        # visible to assert_drained) instead of being silently lost.
+        envelope = self.transport.peek(party)
+        if envelope is None:
+            raise LookupError(f"no pending message for party {party}")
+        if tag is not None and envelope.tag != tag:
+            raise ValueError(
+                f"party {party} expected a {tag!r} message but the oldest "
+                f"pending one is tagged {envelope.tag!r}"
+            )
+        payload = self.codec.deserialize(envelope.data)
+        self.transport.poll(party)
+        self.consumed += 1
+        return payload
+
+    def drain(self, party: int | None = None) -> int:
+        """Pop all pending messages (one party, or everyone) undecoded.
+
+        Returns the number of messages consumed.  ``round`` drains
+        implicitly: a synchronisation barrier is exactly the point where
+        every party picks up her mail.
+        """
+        parties = range(self.n_parties) if party is None else (party,)
+        count = 0
+        for receiver in parties:
+            while self.transport.poll(receiver) is not None:
+                count += 1
+        self.consumed += count
+        return count
+
+    def pending_total(self) -> int:
+        return sum(self.transport.pending(p) for p in range(self.n_parties))
+
+    def assert_drained(self) -> None:
+        """Every inbox must be empty (end-of-training invariant)."""
+        pending = {
+            p: self.transport.pending(p)
+            for p in range(self.n_parties)
+            if self.transport.pending(p)
+        }
+        if pending:
+            raise AssertionError(
+                f"undelivered protocol messages left in inboxes: {pending}"
+            )
+
     # -- legacy estimate API -------------------------------------------------
 
     def send(self, sender: int, receiver: int, n_bytes: int, tag: str = "") -> None:
@@ -173,10 +243,19 @@ class MessageBus:
             self.by_tag[tag] += n_bytes * count
 
     def round(self, count: int = 1) -> None:
-        """Mark ``count`` synchronisation rounds."""
+        """Mark ``count`` synchronisation rounds and deliver pending mail.
+
+        A round is a barrier: every party has received the messages sent
+        before it.  Flows that need the decoded payload call
+        :meth:`receive` *before* the round; everything still pending at the
+        barrier is consumed here, which keeps inboxes empty at the end of
+        every protocol phase (asserted by :meth:`assert_drained`).
+        """
         if count < 0:
             raise ValueError("round count must be non-negative")
         self.rounds += count
+        if count:
+            self.drain()
 
     # -- reporting -----------------------------------------------------------
 
@@ -186,6 +265,8 @@ class MessageBus:
     def snapshot(self) -> dict[str, object]:
         return {
             "messages": self.messages,
+            "consumed": self.consumed,
+            "pending": self.pending_total(),
             "bytes": self.bytes,
             "bytes_measured": self.bytes_measured,
             "bytes_estimated": self.bytes_estimated,
@@ -196,6 +277,7 @@ class MessageBus:
 
     def reset(self) -> None:
         self.messages = 0
+        self.consumed = 0
         self.bytes = 0
         self.bytes_measured = 0
         self.bytes_estimated = 0

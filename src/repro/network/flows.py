@@ -42,23 +42,38 @@ def record_threshold_decrypt(
     holder: int = 0,
     partials: list[PartialDecryptionVector] | None = None,
 ) -> None:
-    """Account one batched threshold decryption as real payload sends.
+    """Run one batched threshold decryption as real payload sends/receives.
 
     ``ciphertexts`` is the batch being decrypted (``Ciphertext`` or
     ``EncryptedNumber`` payloads, as held by the caller); ``partials``
     optionally supplies the real per-party share vectors (placeholders of
     the same wire size are synthesized otherwise).  Marks the flow's two
-    rounds (ciphertext broadcast, share broadcast).
+    rounds (ciphertext broadcast, share broadcast).  Every receiver drains
+    and decodes her copy of each message (``MessageBus.receive``), so the
+    flow leaves all inboxes empty and any wire-format drift surfaces here.
     """
     count = len(ciphertexts)
     if count == 0:
         return
-    if partials is not None and len(partials) != bus.n_parties:
+    m = bus.n_parties
+    if partials is not None and len(partials) != m:
         raise ValueError(
-            f"expected {bus.n_parties} partial-share vectors, got {len(partials)}"
+            f"expected {m} partial-share vectors, got {len(partials)}"
         )
     bus.broadcast_payload(holder, list(ciphertexts), tag=tag)
-    for party in range(bus.n_parties):
+    # Drain-based delivery: every other client *receives* the batch — the
+    # wire bytes are decoded back into ciphertext objects, so the broadcast
+    # is data flow, not just accounting.
+    for party in range(m):
+        if party == holder:
+            continue
+        received = bus.receive(party, tag=tag)
+        if len(received) != count:
+            raise ValueError(
+                f"party {party} received {len(received)} ciphertexts, "
+                f"expected {count}"
+            )
+    for party in range(m):
         if partials is not None:
             vector = partials[party]
             if len(vector.values) != count:
@@ -66,4 +81,15 @@ def record_threshold_decrypt(
         else:
             vector = PartialDecryptionVector(party, (0,) * count)
         bus.broadcast_payload(party, vector, tag=tag)
+    # Every client receives the other m-1 partial-share vectors and checks
+    # the batch shape before combining locally.
+    for party in range(m):
+        for _ in range(m - 1):
+            vector = bus.receive(party, tag=tag)
+            if not isinstance(vector, PartialDecryptionVector) or len(
+                vector.values
+            ) != count:
+                raise ValueError(
+                    f"party {party} received a malformed partial-share vector"
+                )
     bus.round(2)

@@ -9,13 +9,14 @@ drop in an asyncio implementation (same methods as coroutines over real
 sockets) without touching the bus or any protocol code.
 
 :class:`InMemoryTransport` is the synchronous single-process
-implementation.  Because the simulation's "receivers" are the same process
-that sent the message, nothing drains the inboxes during a long training
-run; the bus therefore builds its default transport with a bounded
-``capacity`` per inbox (oldest messages are dropped once full, and
-counted).  Byte accounting is done by the bus at delivery time, so a
-bounded inbox never affects the measured totals — pass ``capacity=None``
-when a test or a real consumer loop wants every message retained.
+implementation.  Delivery is drain-based: the bus's receivers consume
+their inboxes (``MessageBus.receive`` decodes explicitly; every
+synchronisation round drains the rest), so the default transport is
+unbounded and inboxes stay empty between protocol phases.  A bounded
+``capacity`` remains available for tests and for deployments that want an
+explicit backpressure bound (oldest messages are dropped once full, and
+counted); byte accounting is done by the bus at delivery time, so a
+bounded inbox never affects the measured totals.
 """
 
 from __future__ import annotations
@@ -48,6 +49,14 @@ class Transport:
 
     def poll(self, receiver: int) -> Envelope | None:
         """Pop the oldest pending message for ``receiver`` (None if idle)."""
+        raise NotImplementedError
+
+    def peek(self, receiver: int) -> Envelope | None:
+        """The oldest pending message without consuming it (None if idle).
+
+        Lets a receiver validate (tag, shape) *before* the pop, so a
+        rejected message stays queued instead of being lost.
+        """
         raise NotImplementedError
 
     def pending(self, receiver: int) -> int:
@@ -88,6 +97,11 @@ class InMemoryTransport(Transport):
         self._check_party(receiver)
         inbox = self._inboxes[receiver]
         return inbox.popleft() if inbox else None
+
+    def peek(self, receiver: int) -> Envelope | None:
+        self._check_party(receiver)
+        inbox = self._inboxes[receiver]
+        return inbox[0] if inbox else None
 
     def pending(self, receiver: int) -> int:
         self._check_party(receiver)

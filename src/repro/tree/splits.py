@@ -29,6 +29,11 @@ def candidate_splits(column: np.ndarray, max_splits: int) -> list[float]:
     if values.size <= 1:
         return []
     midpoints = (values[:-1] + values[1:]) / 2.0
+    # The midpoint of two adjacent representable floats can round onto an
+    # endpoint; such a threshold would make one side structurally empty.
+    midpoints = midpoints[(midpoints > values[0]) & (midpoints < values[-1])]
+    if midpoints.size == 0:
+        return []
     if midpoints.size <= max_splits:
         return [float(t) for t in midpoints]
     # Equi-depth: pick thresholds at evenly spaced quantiles of the data.

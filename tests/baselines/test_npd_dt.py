@@ -78,10 +78,10 @@ def test_prediction_leaks_path_bits(trained):
 
 def test_communication_is_orders_below_pivot(trained):
     """Fig. 5: NPD-DT's bytes are tiny next to any secure protocol."""
-    from repro.core import PivotDecisionTree
+    from repro.core import TreeTrainer
     from tests.core.conftest import make_context
 
     X, y, vp, npd, _ = trained
     ctx = make_context(X, y, "classification", params=PARAMS, seed=9)
-    PivotDecisionTree(ctx).fit()
+    TreeTrainer(ctx).fit()
     assert ctx.bus.bytes > 20 * npd.bus.bytes

@@ -90,7 +90,7 @@ def test_secure_comparisons_far_exceed_pivot():
     Pivot a constant number per node — the comparison counts must differ
     by a wide margin on identical inputs."""
     from repro.analysis import opcount
-    from repro.core import PivotDecisionTree
+    from repro.core import TreeTrainer
     from tests.core.conftest import make_context
 
     X, y = make_classification(20, 4, n_classes=2, seed=4)
@@ -100,5 +100,5 @@ def test_secure_comparisons_far_exceed_pivot():
         spdz.fit()
     ctx = make_context(X, y, "classification", params=PARAMS, seed=8)
     with opcount.counting() as pivot_ops:
-        PivotDecisionTree(ctx).fit()
+        TreeTrainer(ctx).fit()
     assert spdz_ops["cc"] > 3 * pivot_ops["cc"]

@@ -4,7 +4,7 @@ pruning behaviour, privacy of the transcript, and cost accounting."""
 import numpy as np
 import pytest
 
-from repro.core import PivotConfig, PivotDecisionTree, PivotContext
+from repro.core import PivotConfig, TreeTrainer, PivotContext
 from repro.data import vertical_partition
 from repro.tree import DecisionTree, TreeParams
 
@@ -21,7 +21,7 @@ def test_classification_equals_plaintext_cart(small_classification):
     X, y = small_classification
     params = TreeParams(max_depth=2, max_splits=2)
     ctx = make_context(X, y, "classification", params=params)
-    model = PivotDecisionTree(ctx).fit()
+    model = TreeTrainer(ctx).fit()
     reference = plaintext_reference(ctx, X, y, params)
     assert global_signature(model.root, ctx.partition) == global_signature(
         reference.root, ctx.partition
@@ -32,7 +32,7 @@ def test_multiclass_equals_plaintext_cart(small_multiclass):
     X, y = small_multiclass
     params = TreeParams(max_depth=2, max_splits=2)
     ctx = make_context(X, y, "classification", params=params, seed=3)
-    model = PivotDecisionTree(ctx).fit()
+    model = TreeTrainer(ctx).fit()
     reference = plaintext_reference(ctx, X, y, params)
     assert global_signature(model.root, ctx.partition) == global_signature(
         reference.root, ctx.partition
@@ -43,7 +43,7 @@ def test_regression_equals_plaintext_cart(small_regression):
     X, y = small_regression
     params = TreeParams(max_depth=2, max_splits=2)
     ctx = make_context(X, y, "regression", params=params)
-    model = PivotDecisionTree(ctx).fit()
+    model = TreeTrainer(ctx).fit()
     reference = plaintext_reference(ctx, X, y, params)
     # Leaf means agree to fixed-point precision; compare structure and
     # leaves separately with tolerance.
@@ -75,8 +75,8 @@ def test_reduced_gain_mode_selects_same_tree(small_classification):
     reduced_ctx = make_context(
         X, y, "classification", params=params, gain_mode="reduced"
     )
-    a = PivotDecisionTree(paper_ctx).fit()
-    b = PivotDecisionTree(reduced_ctx).fit()
+    a = TreeTrainer(paper_ctx).fit()
+    b = TreeTrainer(reduced_ctx).fit()
     assert global_signature(a.root, paper_ctx.partition) == global_signature(
         b.root, reduced_ctx.partition
     )
@@ -86,7 +86,7 @@ def test_two_clients(small_classification):
     X, y = small_classification
     params = TreeParams(max_depth=2, max_splits=2)
     ctx = make_context(X, y, "classification", m=2, params=params)
-    model = PivotDecisionTree(ctx).fit()
+    model = TreeTrainer(ctx).fit()
     reference = plaintext_reference(ctx, X, y, params)
     assert global_signature(model.root, ctx.partition) == global_signature(
         reference.root, ctx.partition
@@ -98,7 +98,7 @@ def test_max_depth_zero_splits(small_classification):
     ctx = make_context(
         X, y, "classification", params=TreeParams(max_depth=1, max_splits=2)
     )
-    model = PivotDecisionTree(ctx).fit()
+    model = TreeTrainer(ctx).fit()
     assert model.max_depth <= 1
 
 
@@ -110,7 +110,7 @@ def test_min_samples_split_prunes(small_classification):
         "classification",
         params=TreeParams(max_depth=3, max_splits=2, min_samples_split=len(y) + 1),
     )
-    model = PivotDecisionTree(ctx).fit()
+    model = TreeTrainer(ctx).fit()
     assert model.root.is_leaf
     # Majority class leaf.
     assert model.root.prediction == int(np.bincount(y).argmax())
@@ -120,7 +120,7 @@ def test_pure_node_becomes_leaf():
     X = np.array([[0.1, 5.0], [0.2, 6.0], [0.3, 7.0], [0.4, 8.0]])
     y = np.array([1, 1, 1, 1])
     ctx = make_context(X, y, "classification", m=2)
-    model = PivotDecisionTree(ctx).fit()
+    model = TreeTrainer(ctx).fit()
     assert model.root.is_leaf
     assert model.root.prediction == 1
 
@@ -130,16 +130,16 @@ def test_initial_mask_restricts_samples(small_classification):
     ctx = make_context(X, y, "classification")
     mask = np.zeros(len(y), dtype=bool)
     mask[:10] = True
-    model = PivotDecisionTree(ctx).fit(initial_mask=mask)
+    model = TreeTrainer(ctx).fit(initial_mask=mask)
     reference = DecisionTree(
         "classification", TreeParams(max_depth=2, max_splits=2)
     ).fit(X[:10], y[:10], split_candidates=global_split_grid(ctx), n_classes=2)
     # The masked secure tree predicts like the plaintext tree trained on the
     # same 10 samples (thresholds may differ since the secure grid comes
     # from all n rows; compare leaf predictions on the masked samples).
-    from repro.core import predict_batch
+    from repro.core import run_predict_batch
 
-    assert list(predict_batch(model, ctx, X[:10])) == list(
+    assert list(run_predict_batch(model, ctx, X[:10])) == list(
         reference.predict(X[:10])
     )
 
@@ -148,7 +148,7 @@ def test_initial_mask_length_validated(small_classification):
     X, y = small_classification
     ctx = make_context(X, y, "classification")
     with pytest.raises(ValueError):
-        PivotDecisionTree(ctx).fit(initial_mask=np.ones(3, dtype=bool))
+        TreeTrainer(ctx).fit(initial_mask=np.ones(3, dtype=bool))
 
 
 def test_transcript_reveals_only_model_information(small_classification):
@@ -156,7 +156,7 @@ def test_transcript_reveals_only_model_information(small_classification):
     either a pruning bit, a best-split identifier, or a leaf label."""
     X, y = small_classification
     ctx = make_context(X, y, "classification")
-    PivotDecisionTree(ctx).fit()
+    TreeTrainer(ctx).fit()
     allowed_prefixes = (
         "prune-count",
         "prune-pure",
@@ -172,7 +172,7 @@ def test_transcript_reveals_only_model_information(small_classification):
 def test_cost_accounting_nonzero(small_classification):
     X, y = small_classification
     ctx = make_context(X, y, "classification")
-    PivotDecisionTree(ctx).fit()
+    TreeTrainer(ctx).fit()
     costs = ctx.cost_snapshot()
     assert costs["conversions"]["threshold_decryptions"] > 0
     assert costs["bus"]["bytes"] > 0
@@ -189,8 +189,8 @@ def test_conversion_count_scales_with_splits(small_classification):
     ctx_large_b = make_context(
         X, y, "classification", params=TreeParams(max_depth=1, max_splits=4)
     )
-    PivotDecisionTree(ctx_small_b).fit()
-    PivotDecisionTree(ctx_large_b).fit()
+    TreeTrainer(ctx_small_b).fit()
+    TreeTrainer(ctx_large_b).fit()
     small = ctx_small_b.conversions.threshold_decryptions
     large = ctx_large_b.conversions.threshold_decryptions
     assert large > small
@@ -200,7 +200,7 @@ def test_min_samples_leaf_masking(small_classification):
     X, y = small_classification
     params = TreeParams(max_depth=2, max_splits=2, min_samples_leaf=5)
     ctx = make_context(X, y, "classification", params=params)
-    model = PivotDecisionTree(ctx).fit()
+    model = TreeTrainer(ctx).fit()
     reference = plaintext_reference(ctx, X, y, params)
     assert global_signature(model.root, ctx.partition) == global_signature(
         reference.root, ctx.partition

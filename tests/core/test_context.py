@@ -48,7 +48,9 @@ def test_indicator_vectors(small_classification):
     client = ctx.clients[1]
     v = client.indicator(0, 0)
     threshold = client.split_values[0][0]
-    assert np.array_equal(v, (client.features[:, 0] <= threshold).astype(int))
+    with client.local():  # raw column read = the client's own computation
+        column = client.features[:, 0]
+    assert np.array_equal(v, (column <= threshold).astype(int))
     matrix = client.indicator_matrix(0)
     assert matrix.shape == (ctx.n_samples, client.n_splits(0))
 

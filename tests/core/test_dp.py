@@ -6,7 +6,7 @@ import statistics
 import numpy as np
 import pytest
 
-from repro.core import DPConfig, PivotDecisionTree
+from repro.core import DPConfig, TreeTrainer
 from repro.core.dp import DPMechanisms
 from repro.mpc import FixedPointOps, MPCEngine
 from repro.tree import TreeParams
@@ -88,7 +88,7 @@ def test_dp_training_produces_valid_tree(small_classification):
     ctx = make_context(
         X, y, "classification", params=params, dp=DPConfig(epsilon=5.0), seed=13
     )
-    model = PivotDecisionTree(ctx).fit()
+    model = TreeTrainer(ctx).fit()
     assert model.max_depth <= 2
     for leaf in model.leaves():
         assert leaf.prediction in (0, 1)
@@ -103,23 +103,23 @@ def test_dp_training_with_tight_budget_still_works(small_classification):
     ctx = make_context(
         X, y, "classification", params=params, dp=DPConfig(epsilon=0.1), seed=14
     )
-    model = PivotDecisionTree(ctx).fit()
+    model = TreeTrainer(ctx).fit()
     assert model.max_depth <= 1
 
 
 def test_dp_accuracy_degrades_gracefully(small_classification):
     """High epsilon ~ non-private accuracy; this is the §9.2 trade-off."""
     from repro.tree.metrics import accuracy
-    from repro.core import predict_batch
+    from repro.core import run_predict_batch
 
     X, y = small_classification
     params = TreeParams(max_depth=2, max_splits=2)
     private_ctx = make_context(
         X, y, "classification", params=params, dp=DPConfig(epsilon=20.0), seed=15
     )
-    private = PivotDecisionTree(private_ctx).fit()
+    private = TreeTrainer(private_ctx).fit()
     public_ctx = make_context(X, y, "classification", params=params, seed=15)
-    public = PivotDecisionTree(public_ctx).fit()
-    acc_private = accuracy(predict_batch(private, private_ctx, X), y)
-    acc_public = accuracy(predict_batch(public, public_ctx, X), y)
+    public = TreeTrainer(public_ctx).fit()
+    acc_private = accuracy(run_predict_batch(private, private_ctx, X), y)
+    acc_public = accuracy(run_predict_batch(public, public_ctx, X), y)
     assert acc_private >= acc_public - 0.25

@@ -8,9 +8,9 @@ import pytest
 from repro.core import (
     PivotConfig,
     PivotContext,
-    PivotDecisionTree,
-    predict_batch,
-    predict_enhanced,
+    TreeTrainer,
+    run_predict_batch,
+    run_predict_enhanced,
 )
 from repro.data import vertical_partition
 from repro.tree import TreeParams
@@ -30,9 +30,9 @@ def enhanced_setup(request):
         X, y, "classification", keysize=ENHANCED_KEYSIZE, protocol="enhanced",
         params=params,
     )
-    model = PivotDecisionTree(ctx).fit()
+    model = TreeTrainer(ctx).fit()
     basic_ctx = make_context(X, y, "classification", params=params)
-    basic_model = PivotDecisionTree(basic_ctx).fit()
+    basic_model = TreeTrainer(basic_ctx).fit()
     return X, y, ctx, model, basic_ctx, basic_model
 
 
@@ -75,8 +75,8 @@ def test_hidden_leaf_labels_decode_to_basic_values(enhanced_setup):
 
 def test_enhanced_prediction_matches_basic(enhanced_setup):
     X, _, ctx, model, basic_ctx, basic_model = enhanced_setup
-    secure = [predict_enhanced(model, ctx, row) for row in X[:8]]
-    plain = list(predict_batch(basic_model, basic_ctx, X[:8]))
+    secure = [run_predict_enhanced(model, ctx, row) for row in X[:8]]
+    plain = list(run_predict_batch(basic_model, basic_ctx, X[:8]))
     assert secure == plain
 
 
@@ -84,10 +84,10 @@ def test_enhanced_model_rejects_plaintext_prediction(enhanced_setup):
     X, _, ctx, model, _, _ = enhanced_setup
     with pytest.raises(ValueError):
         model.predict(X[:1])
-    from repro.core.prediction import predict_basic
+    from repro.core.prediction import run_predict_basic
 
     with pytest.raises(ValueError):
-        predict_basic(model, ctx, X[0])
+        run_predict_basic(model, ctx, X[0])
 
 
 def test_transcript_hides_split_values(enhanced_setup):
@@ -109,10 +109,10 @@ def test_enhanced_regression():
         X, y, "regression", keysize=ENHANCED_KEYSIZE, protocol="enhanced",
         params=params,
     )
-    model = PivotDecisionTree(ctx).fit()
+    model = TreeTrainer(ctx).fit()
     basic_ctx = make_context(X, y, "regression", params=params)
-    basic_model = PivotDecisionTree(basic_ctx).fit()
-    secure = [predict_enhanced(model, ctx, row) for row in X[:5]]
+    basic_model = TreeTrainer(basic_ctx).fit()
+    secure = [run_predict_enhanced(model, ctx, row) for row in X[:5]]
     plain = [basic_model.predict_row(row) for row in X[:5]]
     for s, p in zip(secure, plain):
         assert s == pytest.approx(p, abs=5e-2 * max(1.0, abs(p)))

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import PivotGBDT, PivotRandomForest
+from repro.core import GBDTTrainer, ForestTrainer
 from repro.tree import TreeParams
 
 from tests.core.conftest import make_context
@@ -17,7 +17,7 @@ def rf_setup():
 
     X, y = make_classification(40, 4, n_classes=3, seed=5)
     ctx = make_context(X, y, "classification", params=PARAMS, seed=1)
-    rf = PivotRandomForest(ctx, n_trees=3, seed=2).fit()
+    rf = ForestTrainer(ctx, n_trees=3, seed=2).fit()
     return X, y, ctx, rf
 
 
@@ -51,7 +51,7 @@ def test_rf_regression_mean():
 
     X, y = make_regression(30, 4, seed=6)
     ctx = make_context(X, y, "regression", params=PARAMS, seed=3)
-    rf = PivotRandomForest(ctx, n_trees=2, seed=4).fit()
+    rf = ForestTrainer(ctx, n_trees=2, seed=4).fit()
     secure = rf.predict(X[:4])
     per_tree = np.stack([m.predict(X[:4]) for m in rf.models])
     assert np.allclose(secure, per_tree.mean(axis=0), atol=1e-3)
@@ -60,22 +60,30 @@ def test_rf_regression_mean():
 def test_rf_validation(rf_setup):
     _, _, ctx, _ = rf_setup
     with pytest.raises(ValueError):
-        PivotRandomForest(ctx, n_trees=0)
+        ForestTrainer(ctx, n_trees=0)
     with pytest.raises(RuntimeError):
-        PivotRandomForest(ctx, n_trees=1).predict(np.zeros((1, 4)))
+        ForestTrainer(ctx, n_trees=1).predict(np.zeros((1, 4)))
 
 
-def test_ensembles_require_basic_protocol():
+def test_legacy_ensembles_require_basic_protocol():
+    """The deprecated flat-API classes keep their documented basic-only
+    scope; the trainers behind the federation API accept enhanced."""
+    from repro.core import PivotGBDT, PivotRandomForest
     from repro.data import make_classification
 
     X, y = make_classification(20, 4, n_classes=2, seed=7)
     ctx = make_context(
         X, y, "classification", keysize=512, protocol="enhanced", params=PARAMS
     )
-    with pytest.raises(ValueError):
-        PivotRandomForest(ctx)
-    with pytest.raises(ValueError):
-        PivotGBDT(ctx)
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(ValueError):
+            PivotRandomForest(ctx)
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(ValueError):
+            PivotGBDT(ctx)
+    # The new trainers take the enhanced context (share-level aggregation).
+    assert ForestTrainer(ctx).enhanced
+    assert GBDTTrainer(ctx).enhanced
 
 
 # -- GBDT ---------------------------------------------------------------------
@@ -87,9 +95,9 @@ def test_gbdt_regression_reduces_training_error():
 
     X, y = make_regression(30, 4, noise=0.05, seed=8)
     ctx1 = make_context(X, y, "regression", params=PARAMS, seed=5)
-    one_round = PivotGBDT(ctx1, n_rounds=1, learning_rate=0.8).fit()
+    one_round = GBDTTrainer(ctx1, n_rounds=1, learning_rate=0.8).fit()
     ctx3 = make_context(X, y, "regression", params=PARAMS, seed=5)
-    three_rounds = PivotGBDT(ctx3, n_rounds=3, learning_rate=0.8).fit()
+    three_rounds = GBDTTrainer(ctx3, n_rounds=3, learning_rate=0.8).fit()
     mse_1 = mean_squared_error(one_round.predict(X), y)
     mse_3 = mean_squared_error(three_rounds.predict(X), y)
     assert mse_3 < mse_1
@@ -102,7 +110,7 @@ def test_gbdt_regression_close_to_plaintext_gbdt():
 
     X, y = make_regression(30, 4, noise=0.05, seed=9)
     ctx = make_context(X, y, "regression", params=PARAMS, seed=6)
-    secure = PivotGBDT(ctx, n_rounds=2, learning_rate=0.5).fit()
+    secure = GBDTTrainer(ctx, n_rounds=2, learning_rate=0.5).fit()
     mse_secure = mean_squared_error(secure.predict(X), y)
     plain = GBDTRegressor(n_rounds=2, learning_rate=0.5, params=PARAMS).fit(X, y)
     mse_plain = mean_squared_error(plain.predict(X), y)
@@ -117,7 +125,7 @@ def test_gbdt_residual_labels_stay_encrypted():
 
     X, y = make_regression(24, 4, seed=10)
     ctx = make_context(X, y, "regression", params=PARAMS, seed=7)
-    PivotGBDT(ctx, n_rounds=2, learning_rate=0.5).fit()
+    GBDTTrainer(ctx, n_rounds=2, learning_rate=0.5).fit()
     allowed = ("prune-", "best-split", "leaf-label")
     for tag, _ in ctx.revealed:
         assert tag.startswith(allowed), f"unexpected reveal {tag!r}"
@@ -129,7 +137,7 @@ def test_gbdt_classification_one_vs_rest():
 
     X, y = make_classification(24, 4, n_classes=2, seed=11)
     ctx = make_context(X, y, "classification", params=PARAMS, seed=8)
-    model = PivotGBDT(ctx, n_rounds=2, learning_rate=0.5).fit()
+    model = GBDTTrainer(ctx, n_rounds=2, learning_rate=0.5).fit()
     assert len(model.class_models) == 2  # rounds
     assert len(model.class_models[0]) == 2  # one regression tree per class
     acc = accuracy(model.predict(X[:12]), y[:12])
@@ -142,8 +150,8 @@ def test_gbdt_validation():
     X, y = make_regression(20, 4, seed=12)
     ctx = make_context(X, y, "regression", params=PARAMS)
     with pytest.raises(ValueError):
-        PivotGBDT(ctx, n_rounds=0)
+        GBDTTrainer(ctx, n_rounds=0)
     with pytest.raises(ValueError):
-        PivotGBDT(ctx, learning_rate=0.0)
+        GBDTTrainer(ctx, learning_rate=0.0)
     with pytest.raises(RuntimeError):
-        PivotGBDT(ctx, n_rounds=1).predict(np.zeros((1, 4)))
+        GBDTTrainer(ctx, n_rounds=1).predict(np.zeros((1, 4)))

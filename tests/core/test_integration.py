@@ -10,7 +10,7 @@ import numpy as np
 import pytest
 
 from repro.baselines import NpdDecisionTree, SpdzDecisionTree
-from repro.core import PivotDecisionTree, predict_batch, predict_enhanced
+from repro.core import TreeTrainer, run_predict_batch, run_predict_enhanced
 from repro.tree import DecisionTree, TreeParams
 
 from tests.core.conftest import global_signature, global_split_grid, make_context
@@ -24,12 +24,12 @@ def everything():
 
     X, y = make_classification(30, 4, n_classes=2, seed=17)
     basic_ctx = make_context(X, y, "classification", params=PARAMS, seed=6)
-    basic = PivotDecisionTree(basic_ctx).fit()
+    basic = TreeTrainer(basic_ctx).fit()
     enhanced_ctx = make_context(
         X, y, "classification", keysize=512, protocol="enhanced",
         params=PARAMS, seed=6,
     )
-    enhanced = PivotDecisionTree(enhanced_ctx).fit()
+    enhanced = TreeTrainer(enhanced_ctx).fit()
     spdz = SpdzDecisionTree(basic_ctx.partition, PARAMS, seed=6).fit()
     npd = NpdDecisionTree(basic_ctx.partition, PARAMS).fit()
     plain = DecisionTree("classification", PARAMS).fit(
@@ -63,8 +63,8 @@ def test_all_prediction_paths_agree(everything):
     X, _, ctx, basic, ectx, enhanced, _, _, plain = everything
     rows = X[:6]
     centralized = list(plain.predict(rows))
-    secure_basic = list(predict_batch(basic, ctx, rows))
-    secure_enhanced = [predict_enhanced(enhanced, ectx, r) for r in rows]
+    secure_basic = list(run_predict_batch(basic, ctx, rows))
+    secure_enhanced = [run_predict_enhanced(enhanced, ectx, r) for r in rows]
     assert secure_basic == centralized
     assert secure_enhanced == centralized
 
@@ -74,13 +74,13 @@ def test_regression_stack_agrees():
 
     X, y = make_regression(24, 4, seed=18)
     ctx = make_context(X, y, "regression", params=PARAMS, seed=7)
-    basic = PivotDecisionTree(ctx).fit()
+    basic = TreeTrainer(ctx).fit()
     spdz = SpdzDecisionTree(ctx.partition, PARAMS, seed=7).fit()
     plain = DecisionTree("regression", PARAMS).fit(
         X, y, split_candidates=global_split_grid(ctx)
     )
     rows = X[:5]
-    assert np.allclose(predict_batch(basic, ctx, rows), plain.predict(rows), atol=2e-3)
+    assert np.allclose(run_predict_batch(basic, ctx, rows), plain.predict(rows), atol=2e-3)
     assert np.allclose(spdz.predict(rows), plain.predict(rows), atol=2e-3)
 
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import (
-    PivotDecisionTree,
+    TreeTrainer,
     feature_inference_attack,
     label_inference_attack,
 )
@@ -20,12 +20,12 @@ def released_models():
     X, y = make_classification(60, 6, n_classes=2, seed=4)
     params = TreeParams(max_depth=3, max_splits=4)
     basic_ctx = make_context(X, y, "classification", params=params, seed=5)
-    basic = PivotDecisionTree(basic_ctx).fit()
+    basic = TreeTrainer(basic_ctx).fit()
     enhanced_ctx = make_context(
         X, y, "classification", keysize=640, protocol="enhanced",
         params=params, seed=5,
     )
-    enhanced = PivotDecisionTree(enhanced_ctx).fit()
+    enhanced = TreeTrainer(enhanced_ctx).fit()
     return X, y, basic_ctx, basic, enhanced_ctx, enhanced
 
 

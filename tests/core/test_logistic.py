@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import PivotLogisticRegression
+from repro.core import LogisticTrainer
 from repro.tree import TreeParams
 
 from tests.core.conftest import make_context
@@ -20,7 +20,7 @@ def separable():
 def test_learns_separable_data(separable):
     X, y = separable
     ctx = make_context(X, y, "classification", m=2, seed=1)
-    lr = PivotLogisticRegression(ctx, learning_rate=0.5, n_epochs=4, batch_size=8)
+    lr = LogisticTrainer(ctx, learning_rate=0.5, n_epochs=4, batch_size=8)
     lr.fit()
     assert (lr.predict(X) == y).mean() >= 0.9
 
@@ -28,7 +28,7 @@ def test_learns_separable_data(separable):
 def test_probabilities_in_range(separable):
     X, y = separable
     ctx = make_context(X, y, "classification", m=2, seed=2)
-    lr = PivotLogisticRegression(ctx, n_epochs=2, batch_size=8).fit()
+    lr = LogisticTrainer(ctx, n_epochs=2, batch_size=8).fit()
     probs = lr.predict_proba(X[:8])
     assert np.all(probs >= 0.0) and np.all(probs <= 1.0)
 
@@ -39,7 +39,7 @@ def test_weights_never_plaintext(separable):
 
     X, y = separable
     ctx = make_context(X, y, "classification", m=2, seed=3)
-    lr = PivotLogisticRegression(ctx, n_epochs=1, batch_size=8).fit()
+    lr = LogisticTrainer(ctx, n_epochs=1, batch_size=8).fit()
     for block in lr.weights:
         for w in block:
             assert isinstance(w, EncryptedNumber)
@@ -48,7 +48,7 @@ def test_weights_never_plaintext(separable):
 def test_transcript_contains_only_predictions(separable):
     X, y = separable
     ctx = make_context(X, y, "classification", m=2, seed=4)
-    lr = PivotLogisticRegression(ctx, n_epochs=1, batch_size=8).fit()
+    lr = LogisticTrainer(ctx, n_epochs=1, batch_size=8).fit()
     lr.predict(X[:2])
     for tag, _ in ctx.revealed:
         assert tag == "lr-prediction"
@@ -58,15 +58,15 @@ def test_validation(separable):
     X, y = separable
     ctx = make_context(X, y, "classification", m=2, seed=5)
     with pytest.raises(ValueError):
-        PivotLogisticRegression(ctx, learning_rate=0.0)
+        LogisticTrainer(ctx, learning_rate=0.0)
     with pytest.raises(RuntimeError):
-        PivotLogisticRegression(ctx).predict(X)
+        LogisticTrainer(ctx).predict(X)
     from repro.data import make_regression
 
     Xr, yr = make_regression(20, 4, seed=6)
     ctx_r = make_context(Xr, yr, "regression", m=2)
     with pytest.raises(ValueError):
-        PivotLogisticRegression(ctx_r)
+        LogisticTrainer(ctx_r)
 
 
 def test_multiclass_rejected():
@@ -75,4 +75,4 @@ def test_multiclass_rejected():
     X, y = make_classification(20, 4, n_classes=3, seed=7)
     ctx = make_context(X, y, "classification", m=2)
     with pytest.raises(ValueError):
-        PivotLogisticRegression(ctx).fit()
+        LogisticTrainer(ctx).fit()

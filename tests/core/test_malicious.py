@@ -4,7 +4,7 @@ semi-honest protocol; deviations are detected and abort."""
 import numpy as np
 import pytest
 
-from repro.core import CheatingClient, MaliciousPivotDecisionTree, PivotDecisionTree
+from repro.core import CheatingClient, MaliciousPivotDecisionTree, TreeTrainer
 from repro.core.malicious import CommittedVector
 from repro.crypto.zkp import ProofError
 from repro.mpc.sharing import MacCheckError
@@ -36,7 +36,7 @@ def test_honest_run_matches_semi_honest(tiny_data):
     )
     honest = MaliciousPivotDecisionTree(mal_ctx).fit()
     basic_ctx = make_context(X, y, "classification", params=PARAMS, seed=2)
-    basic = PivotDecisionTree(basic_ctx).fit()
+    basic = TreeTrainer(basic_ctx).fit()
     assert honest.structure_signature() == basic.structure_signature()
 
 

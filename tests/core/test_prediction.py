@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import PivotDecisionTree, predict_basic, predict_batch
+from repro.core import TreeTrainer, run_predict_basic, run_predict_batch
 from repro.core.prediction import predict_basic_encrypted
 from repro.tree import DecisionTree, TreeParams
 
@@ -14,20 +14,20 @@ from tests.core.conftest import global_split_grid, make_context
 def trained(small_classification):
     X, y = small_classification
     ctx = make_context(X, y, "classification")
-    model = PivotDecisionTree(ctx).fit()
+    model = TreeTrainer(ctx).fit()
     return X, y, ctx, model
 
 
 def test_matches_centralized_prediction(trained):
     X, _, ctx, model = trained
-    secure = predict_batch(model, ctx, X[:10])
+    secure = run_predict_batch(model, ctx, X[:10])
     plain = model.predict(X[:10])  # centralized walk over the same tree
     assert list(secure) == list(plain)
 
 
 def test_single_sample(trained):
     X, _, ctx, model = trained
-    assert predict_basic(model, ctx, X[0]) == model.predict_row(X[0])
+    assert run_predict_basic(model, ctx, X[0]) == model.predict_row(X[0])
 
 
 def test_encrypted_prediction_decrypts_to_plain(trained):
@@ -40,9 +40,10 @@ def test_encrypted_prediction_decrypts_to_plain(trained):
 def test_eta_has_single_survivor(trained):
     """After all clients' updates exactly one [1] survives in [η]."""
     from repro.core.ensemble import _encrypted_eta
+    from repro.core.prediction import _local_slices
 
     X, _, ctx, model = trained
-    eta = _encrypted_eta(model, ctx, X[0])
+    eta = _encrypted_eta(model, ctx, _local_slices(ctx, X[0]))
     opened = [
         ctx.threshold.joint_decrypt(e.ciphertext) for e in eta
     ]
@@ -51,17 +52,18 @@ def test_eta_has_single_survivor(trained):
 
 def test_prediction_vector_size_is_leaf_count(trained):
     from repro.core.ensemble import _encrypted_eta
+    from repro.core.prediction import _local_slices
 
     X, _, ctx, model = trained
-    eta = _encrypted_eta(model, ctx, X[0])
+    eta = _encrypted_eta(model, ctx, _local_slices(ctx, X[0]))
     assert len(eta) == model.n_internal + 1
 
 
 def test_regression_prediction(small_regression):
     X, y = small_regression
     ctx = make_context(X, y, "regression")
-    model = PivotDecisionTree(ctx).fit()
-    secure = predict_batch(model, ctx, X[:6])
+    model = TreeTrainer(ctx).fit()
+    secure = run_predict_batch(model, ctx, X[:6])
     plain = model.predict(X[:6])
     assert np.allclose(secure, plain, atol=1e-3)
 
@@ -69,7 +71,7 @@ def test_regression_prediction(small_regression):
 def test_unknown_protocol_rejected(trained):
     X, _, ctx, model = trained
     with pytest.raises(ValueError):
-        predict_batch(model, ctx, X[:1], protocol="quantum")
+        run_predict_batch(model, ctx, X[:1], protocol="quantum")
 
 
 def test_predict_batch_single_decryption_fanout(trained):
@@ -81,12 +83,12 @@ def test_predict_batch_single_decryption_fanout(trained):
     rows = X[:4]
     rounds_before, decs_before = ctx.bus.rounds, ctx.conversions.threshold_decryptions
     with opcount.counting() as batch_ops:
-        batched = predict_batch(model, ctx, rows)
+        batched = run_predict_batch(model, ctx, rows)
     batch_rounds = ctx.bus.rounds - rounds_before
     assert ctx.conversions.threshold_decryptions - decs_before == len(rows)
     rounds_before = ctx.bus.rounds
     with opcount.counting() as serial_ops:
-        serial = [predict_basic(model, ctx, row) for row in rows]
+        serial = [run_predict_basic(model, ctx, row) for row in rows]
     serial_rounds = ctx.bus.rounds - rounds_before
     assert list(batched) == serial
     assert dict(batch_ops) == dict(serial_ops)  # Ce/Cd parity
@@ -98,7 +100,7 @@ def test_enhanced_regression_non_unit_scale():
     """Leaf predictions must come back in label units when the provider's
     normalisation scale is far from 1 (regression labels are trained on
     y / max|y|)."""
-    from repro.core.prediction import predict_enhanced
+    from repro.core.prediction import run_predict_enhanced
 
     rng = np.random.default_rng(2)
     X = rng.normal(size=(16, 3))
@@ -107,13 +109,13 @@ def test_enhanced_regression_non_unit_scale():
     ctx = make_context(
         X, y, "regression", keysize=512, protocol="enhanced", params=params
     )
-    trainer = PivotDecisionTree(ctx)
+    trainer = TreeTrainer(ctx)
     model = trainer.fit()
     assert trainer.provider.label_scale > 100.0
     basic_ctx = make_context(X, y, "regression", params=params)
-    basic_model = PivotDecisionTree(basic_ctx).fit()
+    basic_model = TreeTrainer(basic_ctx).fit()
     for row in X[:4]:
-        secure = predict_enhanced(model, ctx, row)
+        secure = run_predict_enhanced(model, ctx, row)
         plain = basic_model.predict_row(row)
         assert secure == pytest.approx(plain, abs=5e-2 * max(1.0, abs(plain)))
 
@@ -121,7 +123,7 @@ def test_enhanced_regression_non_unit_scale():
 def test_enhanced_mixed_leaf_scales_rejected():
     """The shared inner product sums over leaves, so mixed per-leaf scales
     cannot be applied after the fact — refuse instead of using scales[0]."""
-    from repro.core.prediction import predict_enhanced
+    from repro.core.prediction import run_predict_enhanced
 
     rng = np.random.default_rng(4)
     X = rng.normal(size=(14, 3))
@@ -130,12 +132,12 @@ def test_enhanced_mixed_leaf_scales_rejected():
     ctx = make_context(
         X, y, "regression", keysize=512, protocol="enhanced", params=params
     )
-    model = PivotDecisionTree(ctx).fit()
+    model = TreeTrainer(ctx).fit()
     leaves = model.leaves()
     assert len(leaves) >= 2, "need a split for a meaningful mixed-scale model"
     leaves[0].hidden["label_scale"] = leaves[-1].hidden["label_scale"] * 2.0
     with pytest.raises(ValueError, match="mixed per-leaf label scales"):
-        predict_enhanced(model, ctx, X[0])
+        run_predict_enhanced(model, ctx, X[0])
 
 
 def test_prediction_communication_scales_with_clients(small_classification):
@@ -145,8 +147,8 @@ def test_prediction_communication_scales_with_clients(small_classification):
     costs = []
     for m in (2, 4):
         ctx = make_context(X, y, "classification", m=m, params=params)
-        model = PivotDecisionTree(ctx).fit()
+        model = TreeTrainer(ctx).fit()
         ctx.bus.reset()
-        predict_basic(model, ctx, X[0])
+        run_predict_basic(model, ctx, X[0])
         costs.append(ctx.bus.bytes)
     assert costs[1] > costs[0]

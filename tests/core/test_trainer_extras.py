@@ -4,7 +4,7 @@ feature removal, four clients, imbalanced masks."""
 import numpy as np
 import pytest
 
-from repro.core import PivotConfig, PivotContext, PivotDecisionTree, predict_batch
+from repro.core import PivotConfig, PivotContext, TreeTrainer, run_predict_batch
 from repro.data import make_classification, vertical_partition
 from repro.tree import DecisionTree, TreeParams
 
@@ -16,7 +16,7 @@ def test_super_client_need_not_be_client_zero():
     vp = vertical_partition(X, y, 3, task="classification", super_client=2)
     params = TreeParams(max_depth=2, max_splits=2)
     ctx = PivotContext(vp, PivotConfig(keysize=256, tree=params, seed=1))
-    model = PivotDecisionTree(ctx).fit()
+    model = TreeTrainer(ctx).fit()
     plain = DecisionTree("classification", params).fit(
         X, y, split_candidates=global_split_grid(ctx)
     )
@@ -28,7 +28,7 @@ def test_four_clients():
     vp = vertical_partition(X, y, 4, task="classification")
     params = TreeParams(max_depth=2, max_splits=2)
     ctx = PivotContext(vp, PivotConfig(keysize=256, tree=params, seed=2))
-    model = PivotDecisionTree(ctx).fit()
+    model = TreeTrainer(ctx).fit()
     plain = DecisionTree("classification", params).fit(
         X, y, split_candidates=global_split_grid(ctx)
     )
@@ -41,7 +41,7 @@ def test_remove_used_feature_matches_plaintext():
     vp = vertical_partition(X, y, 2, task="classification")
     params = TreeParams(max_depth=3, max_splits=2, remove_used_feature=True)
     ctx = PivotContext(vp, PivotConfig(keysize=256, tree=params, seed=3))
-    model = PivotDecisionTree(ctx).fit()
+    model = TreeTrainer(ctx).fit()
     for path in model.leaf_paths():
         used = [(node.owner, node.feature) for node, _ in path]
         assert len(used) == len(set(used)), "a path reused a removed feature"
@@ -59,9 +59,9 @@ def test_shuffled_column_assignment():
     )
     params = TreeParams(max_depth=2, max_splits=2)
     ctx = PivotContext(vp, PivotConfig(keysize=256, tree=params, seed=4))
-    model = PivotDecisionTree(ctx).fit()
+    model = TreeTrainer(ctx).fit()
     # Local prediction through global_feature equals the secure protocol.
-    secure = predict_batch(model, ctx, X[:8])
+    secure = run_predict_batch(model, ctx, X[:8])
     local = model.predict(X[:8])
     assert list(secure) == list(local)
 
@@ -73,7 +73,7 @@ def test_single_feature_per_client():
     ctx = PivotContext(
         vp, PivotConfig(keysize=256, tree=TreeParams(max_depth=2, max_splits=2), seed=5)
     )
-    model = PivotDecisionTree(ctx).fit()
+    model = TreeTrainer(ctx).fit()
     assert model.n_internal >= 1
 
 
@@ -90,7 +90,7 @@ def test_tiny_mask_becomes_leaf():
     )
     mask = np.zeros(30, dtype=bool)
     mask[0] = True  # a single sample: below min_samples_split
-    model = PivotDecisionTree(ctx).fit(initial_mask=mask)
+    model = TreeTrainer(ctx).fit(initial_mask=mask)
     assert model.root.is_leaf
     assert model.root.prediction == y[0]
 
@@ -101,7 +101,7 @@ def test_revealed_log_grows_monotonically():
     ctx = PivotContext(
         vp, PivotConfig(keysize=256, tree=TreeParams(max_depth=1, max_splits=2), seed=7)
     )
-    PivotDecisionTree(ctx).fit()
+    TreeTrainer(ctx).fit()
     first = len(ctx.revealed)
-    PivotDecisionTree(ctx).fit()
+    TreeTrainer(ctx).fit()
     assert len(ctx.revealed) > first  # contexts accumulate across runs

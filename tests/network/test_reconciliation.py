@@ -11,7 +11,7 @@ its size formula drift apart, these tests fail.
 import numpy as np
 import pytest
 
-from repro.core import PivotDecisionTree, predict_batch
+from repro.core import TreeTrainer, run_predict_batch
 
 from tests.core.conftest import make_context
 
@@ -39,8 +39,8 @@ def _assert_reconciled(bus):
 def test_basic_training_and_prediction_reconcile(data):
     X, y = data
     ctx = make_context(X, y, "classification")
-    model = PivotDecisionTree(ctx).fit()
-    predict_batch(model, ctx, X[:3])
+    model = TreeTrainer(ctx).fit()
+    run_predict_batch(model, ctx, X[:3])
     snap = _assert_reconciled(ctx.bus)
     expected_tags = {
         "mask-vector", "label-vectors", "split-stats",
@@ -52,8 +52,8 @@ def test_basic_training_and_prediction_reconcile(data):
 def test_enhanced_training_and_prediction_reconcile(data):
     X, y = data
     ctx = make_context(X, y, "classification", protocol="enhanced", keysize=512)
-    model = PivotDecisionTree(ctx).fit()
-    predict_batch(model, ctx, X[:2], protocol="enhanced")
+    model = TreeTrainer(ctx).fit()
+    run_predict_batch(model, ctx, X[:2], protocol="enhanced")
     snap = _assert_reconciled(ctx.bus)
     # Eq. 10's per-sample conversions dominate the enhanced protocol (§6).
     assert "eq10" in snap["by_tag"]
@@ -64,7 +64,7 @@ def test_serial_crypto_path_reconciles(data):
     payload accounting is identical."""
     X, y = data
     ctx = make_context(X, y, "classification", batch_crypto=False)
-    PivotDecisionTree(ctx).fit()
+    TreeTrainer(ctx).fit()
     _assert_reconciled(ctx.bus)
 
 
@@ -73,6 +73,6 @@ def test_regression_training_reconciles():
     X = rng.normal(size=(12, 3))
     y = X[:, 0] * 40.0 + rng.normal(scale=0.1, size=12)
     ctx = make_context(X, y, "regression")
-    model = PivotDecisionTree(ctx).fit()
-    predict_batch(model, ctx, X[:2])
+    model = TreeTrainer(ctx).fit()
+    run_predict_batch(model, ctx, X[:2])
     _assert_reconciled(ctx.bus)

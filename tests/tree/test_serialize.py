@@ -44,7 +44,7 @@ def test_regression_roundtrip(tmp_path):
 def test_federated_model_roundtrip(tmp_path):
     """Pivot basic-protocol models (owner + local + global feature ids)
     survive serialization and still predict through global columns."""
-    from repro.core import PivotConfig, PivotContext, PivotDecisionTree
+    from repro.core import PivotConfig, PivotContext, TreeTrainer
     from repro.data import vertical_partition
 
     X, y = make_classification(24, 4, n_classes=2, seed=47)
@@ -52,7 +52,7 @@ def test_federated_model_roundtrip(tmp_path):
     ctx = PivotContext(
         vp, PivotConfig(keysize=256, tree=TreeParams(max_depth=2, max_splits=2), seed=8)
     )
-    model = PivotDecisionTree(ctx).fit()
+    model = TreeTrainer(ctx).fit()
     path = tmp_path / "pivot.json"
     dump_model(model, str(path))
     restored = load_model(str(path))
@@ -63,7 +63,7 @@ def test_federated_model_roundtrip(tmp_path):
 
 
 def test_enhanced_model_rejected(tmp_path):
-    from repro.core import PivotConfig, PivotContext, PivotDecisionTree
+    from repro.core import PivotConfig, PivotContext, TreeTrainer
     from repro.data import vertical_partition
 
     X, y = make_classification(20, 4, n_classes=2, seed=48)
@@ -77,7 +77,7 @@ def test_enhanced_model_rejected(tmp_path):
             seed=9,
         ),
     )
-    model = PivotDecisionTree(ctx).fit()
+    model = TreeTrainer(ctx).fit()
     with pytest.raises(ValueError):
         model_to_dict(model)
 
