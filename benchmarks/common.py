@@ -62,6 +62,7 @@ def build_context(
     gain_mode: str = "paper",
     batch_crypto: bool = True,
     crypto_workers: int = 0,
+    transport=None,
 ) -> PivotContext:
     d = m * d_bar
     if task == "classification":
@@ -81,7 +82,7 @@ def build_context(
         batch_crypto=batch_crypto,
         crypto_workers=crypto_workers,
     )
-    return PivotContext(partition, config)
+    return PivotContext(partition, config, transport=transport)
 
 
 def timed_run(fn, context: PivotContext | None = None, costs: PrimitiveCosts | None = None) -> RunResult:

@@ -32,6 +32,7 @@ from repro.mpc.engine import MPCEngine
 from repro.mpc.sharing import SharedValue
 from repro.network.bus import MessageBus
 from repro.network.flows import record_threshold_decrypt
+from repro.network.transport import make_transport
 from repro.network.wire import WireCodec
 from repro.tree.splits import candidate_splits
 
@@ -95,11 +96,29 @@ class PivotClient:
 
 
 class PivotContext:
-    """Shared runtime for all Pivot protocols over one vertical partition."""
+    """Shared runtime for all Pivot protocols over one vertical partition.
 
-    def __init__(self, partition: VerticalPartition, config: PivotConfig | None = None):
+    ``transport`` selects the bus's message transport (``None`` /
+    ``"inmemory"``, ``"asyncio"`` for real local sockets, or a prepared
+    :class:`~repro.network.transport.Transport`).  ``remote_clients`` maps
+    party indices to client objects whose feature reads execute elsewhere
+    (the per-party process deployment,
+    :mod:`repro.federation.deployment`); those indices get no
+    :class:`~repro.federation.locality.LocalView` here because this
+    process holds no columns of theirs to guard.
+    """
+
+    def __init__(
+        self,
+        partition: VerticalPartition,
+        config: PivotConfig | None = None,
+        *,
+        transport=None,
+        remote_clients: dict[int, object] | None = None,
+    ):
         self.partition = partition
         self.config = config or PivotConfig()
+        remote_clients = remote_clients or {}
         m = partition.n_clients
         self.threshold = generate_threshold_keypair(m, self.config.keysize)
         self.threshold.fast_decrypt = self.config.batch_crypto
@@ -130,6 +149,7 @@ class PivotContext:
                 share_modulus=self.engine.field.q,
                 encoder=self.encoder,
             ),
+            transport=make_transport(transport, m),
         )
         self.conversions = ConversionCounters()
         #: Enforced party boundary: feature/label reads go through
@@ -139,6 +159,11 @@ class PivotContext:
         self.strict_locality = bool(self.config.strict_locality)
         self.clients = []
         for i in range(m):
+            if i in remote_clients:
+                # The party's columns live in her own process; her client
+                # object proxies the sanctioned local computations there.
+                self.clients.append(remote_clients[i])
+                continue
             view = LocalView(
                 partition.local_features[i],
                 i,
@@ -278,13 +303,15 @@ class PivotContext:
     # -- lifecycle ----------------------------------------------------------------
 
     def close(self) -> None:
-        """Release the batch engine's worker processes (no-op when serial).
+        """Release the batch engine's workers and the bus's transport.
 
-        Contexts are also reaped by a GC finalizer, but benchmarks that
-        build many contexts with ``crypto_workers > 0`` should close (or
-        use ``with PivotContext(...) as ctx``) to bound live processes.
+        No-op for the serial in-memory defaults.  Contexts are also reaped
+        by a GC finalizer, but benchmarks that build many contexts with
+        ``crypto_workers > 0`` (or socket transports) should close (or use
+        ``with PivotContext(...) as ctx``) to bound live processes.
         """
         self.batch.close()
+        self.bus.close()
 
     def __enter__(self) -> "PivotContext":
         return self

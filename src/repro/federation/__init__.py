@@ -14,6 +14,10 @@ data:
 * :class:`~repro.federation.federation.Federation` — assembles the
   parties, runs threshold key generation and MPC setup, and owns the
   shared runtime (the :class:`~repro.core.context.PivotContext`).
+  ``transport="asyncio"`` routes every protocol payload over real local
+  sockets; :class:`~repro.federation.deployment.DeployedFederation`
+  additionally launches each non-super party in her own worker process
+  (columns and key share physically local), with bit-identical results.
 * sklearn-style estimators (:mod:`repro.federation.estimators`):
   :class:`PivotClassifier`, :class:`PivotRegressor`,
   :class:`PivotForestClassifier`, :class:`PivotGBDTClassifier`,
@@ -52,6 +56,7 @@ from repro.federation.locality import (
 )
 
 __all__ = [
+    "DeployedFederation",
     "Federation",
     "LocalityError",
     "LocalView",
@@ -71,6 +76,7 @@ _LAZY = {
     "Party": "repro.federation.party",
     "PartyEndpoint": "repro.federation.party",
     "Federation": "repro.federation.federation",
+    "DeployedFederation": "repro.federation.deployment",
     "PivotClassifier": "repro.federation.estimators",
     "PivotRegressor": "repro.federation.estimators",
     "PivotForestClassifier": "repro.federation.estimators",

@@ -53,7 +53,17 @@ def _resolve_config(
 
 
 class Federation:
-    """m parties, jointly keyed and wired, ready to train estimators."""
+    """m parties, jointly keyed and wired, ready to train estimators.
+
+    ``transport`` picks the message transport for the whole run:
+    ``"inmemory"`` (the default) routes serialized payloads through
+    per-receiver queues in this process; ``"asyncio"`` moves the same
+    bytes over real local TCP sockets
+    (:class:`~repro.network.transport.AsyncioTransport`); a prepared
+    :class:`~repro.network.transport.Transport` instance passes through.
+    Protocol behaviour, measured bytes, and round counts are identical
+    across transports — only the physical path of the bytes changes.
+    """
 
     def __init__(
         self,
@@ -62,9 +72,32 @@ class Federation:
         task: str = "classification",
         config: PivotConfig | None = None,
         strict_locality: bool | None = None,
+        transport=None,
     ):
+        super_client = self._validate_parties(parties)
+        partition = self._partition_of(parties, task, super_client)
+        self._assemble(parties, partition, config, strict_locality, transport)
+
+    # -- shared validation / assembly ---------------------------------------
+
+    @staticmethod
+    def _validate_parties(parties: list[Party]) -> int:
+        """The federation invariants, shared by every constructor.
+
+        Returns the super client's index.  ``from_partition`` used to
+        bypass these checks via ``cls.__new__``, so a 1-party or
+        label-less partition could build a "federation" violating the
+        exactly-one-super-client invariant.
+        """
         if len(parties) < 2:
             raise ValueError("a federation needs at least 2 parties")
+        for party in parties:
+            if getattr(party, "_columns_remote", False):
+                raise ValueError(
+                    f"{party!r} shipped her columns to a worker process in a "
+                    "previous DeployedFederation (the local copy is poisoned); "
+                    "build fresh Party objects from the source data"
+                )
         supers = [i for i, p in enumerate(parties) if p.holds_labels]
         if len(supers) != 1:
             raise ValueError(
@@ -74,25 +107,45 @@ class Federation:
         counts = {p.n_samples for p in parties}
         if len(counts) != 1:
             raise ValueError("parties disagree on the sample count")
-        super_client = supers[0]
+        return supers[0]
 
-        self.config = _resolve_config(config, strict_locality)
-
+    @staticmethod
+    def _partition_of(
+        parties: list[Party], task: str, super_client: int
+    ) -> VerticalPartition:
+        """Build the distributed dataset view from validated parties."""
         # Global column ids: contiguous blocks in party order.
         columns, start = [], 0
         for party in parties:
             columns.append(tuple(range(start, start + party.n_features)))
             start += party.n_features
-        partition = VerticalPartition(
+        return VerticalPartition(
             columns_per_client=tuple(columns),
             local_features=tuple(p._raw_features for p in parties),
             labels=np.asarray(parties[super_client]._raw_labels),
             super_client=super_client,
             task=task,
         )
+
+    def _assemble(
+        self,
+        parties: list[Party],
+        partition: VerticalPartition,
+        config: PivotConfig | None,
+        strict_locality: bool | None,
+        transport,
+        remote_clients: dict[int, object] | None = None,
+    ) -> None:
+        """Joint setup (§3.4): config, keys, MPC engine, bus, binding."""
+        self.config = _resolve_config(config, strict_locality)
         self.parties = list(parties)
         #: Shared runtime: keys, MPC engine, bus, accounting (§3.4 setup).
-        self.context = PivotContext(partition, self.config)
+        self.context = PivotContext(
+            partition,
+            self.config,
+            transport=transport,
+            remote_clients=remote_clients,
+        )
         self._bind_parties()
 
     @classmethod
@@ -101,17 +154,21 @@ class Federation:
         partition: VerticalPartition,
         config: PivotConfig | None = None,
         strict_locality: bool | None = None,
+        transport=None,
     ) -> "Federation":
-        """Bridge from the legacy partition object (simulation datasets)."""
+        """Bridge from the legacy partition object (simulation datasets).
+
+        Runs the same invariant checks as the party-list constructor: a
+        partition with fewer than 2 clients, without labels, or with
+        ragged sample counts is rejected, not silently federated.
+        """
         parties = []
         for i, block in enumerate(partition.local_features):
             labels = partition.labels if i == partition.super_client else None
             parties.append(Party(block, labels=labels))
         fed = cls.__new__(cls)
-        fed.config = _resolve_config(config, strict_locality)
-        fed.parties = parties
-        fed.context = PivotContext(partition, fed.config)
-        fed._bind_parties()
+        fed._validate_parties(parties)
+        fed._assemble(parties, partition, config, strict_locality, transport)
         return fed
 
     @classmethod
@@ -125,13 +182,17 @@ class Federation:
         super_client: int = 0,
         config: PivotConfig | None = None,
         strict_locality: bool | None = None,
+        transport=None,
     ) -> "Federation":
         """Split a caller-held global matrix evenly over ``n_parties``."""
         partition = vertical_partition(
             X, y, n_parties, task=task, super_client=super_client
         )
         return cls.from_partition(
-            partition, config=config, strict_locality=strict_locality
+            partition,
+            config=config,
+            strict_locality=strict_locality,
+            transport=transport,
         )
 
     def _bind_parties(self) -> None:

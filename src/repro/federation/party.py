@@ -45,7 +45,13 @@ class PartyEndpoint:
         return self.bus.receive(self.index, tag=tag)
 
     def pending(self) -> int:
-        return self.bus.transport.pending(self.index)
+        """Messages waiting in this party's inbox.
+
+        Goes through the bus API (not ``bus.transport`` internals): a
+        remote transport must get the chance to flush in-flight frames
+        before the count is read.
+        """
+        return self.bus.pending(self.index)
 
 
 class Party:
@@ -81,6 +87,10 @@ class Party:
         if self._raw_labels is not None and len(self._raw_labels) != len(features):
             raise ValueError("features and labels disagree on sample count")
         self.name = name
+        # Set by DeployedFederation when the columns are shipped to a
+        # worker process and the local copy is poisoned; a flagged party
+        # cannot be federated again (build a fresh one from source data).
+        self._columns_remote = False
         # Assigned by Federation._bind():
         self.index: int | None = None
         self.columns: tuple[int, ...] | None = None

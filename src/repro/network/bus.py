@@ -169,12 +169,17 @@ class MessageBus:
         must carry that tag (protocol flows are strictly ordered per
         receiver; a mismatch means a flow forgot to consume its messages).
 
-        Raises :class:`LookupError` when the inbox is empty.
+        Raises :class:`LookupError` when the inbox is empty.  Over a
+        socket transport "empty" is decided *after* awaiting delivery
+        (``Transport.wait_pending``): a frame still in flight is mail, not
+        absence of mail — this is the await-delivery seam that lets the
+        same protocol flows run over non-instantaneous transports.
         """
         if self.codec is None:
             raise ValueError(
                 "bus was built without a WireCodec; cannot decode payloads"
             )
+        self.transport.wait_pending(party, 1)
         # Validate before consuming: a rejected message stays queued (and
         # visible to assert_drained) instead of being silently lost.
         envelope = self.transport.peek(party)
@@ -195,8 +200,11 @@ class MessageBus:
 
         Returns the number of messages consumed.  ``round`` drains
         implicitly: a synchronisation barrier is exactly the point where
-        every party picks up her mail.
+        every party picks up her mail.  The transport is flushed first so
+        frames still in flight on a socket transport are drained too, not
+        mistaken for empty inboxes.
         """
+        self.transport.flush()
         parties = range(self.n_parties) if party is None else (party,)
         count = 0
         for receiver in parties:
@@ -205,11 +213,19 @@ class MessageBus:
         self.consumed += count
         return count
 
+    def pending(self, party: int) -> int:
+        """Messages waiting for ``party`` (the endpoint-facing inbox API)."""
+        self._check_party(party)
+        self.transport.flush()
+        return self.transport.pending(party)
+
     def pending_total(self) -> int:
+        self.transport.flush()
         return sum(self.transport.pending(p) for p in range(self.n_parties))
 
     def assert_drained(self) -> None:
         """Every inbox must be empty (end-of-training invariant)."""
+        self.transport.flush()
         pending = {
             p: self.transport.pending(p)
             for p in range(self.n_parties)
@@ -273,9 +289,25 @@ class MessageBus:
             "rounds": self.rounds,
             "simulated_seconds": self.simulated_time(),
             "by_tag": dict(self.by_tag),
+            "transport": self.transport.snapshot(),
         }
 
-    def reset(self) -> None:
+    def reset(self, drain: bool = False) -> None:
+        """Zero the counters, keeping them in sync with the transport.
+
+        The seed's reset zeroed ``messages``/``consumed`` while leaving
+        the transport inboxes populated, so every later ``consumed`` /
+        ``pending`` figure was wrong.  Reset now refuses while messages
+        are pending unless ``drain=True`` consumes them first.
+        """
+        if self.pending_total():
+            if not drain:
+                raise RuntimeError(
+                    "cannot reset the bus with protocol messages still "
+                    "pending in transport inboxes: receive/drain them "
+                    "first, or pass drain=True to discard them"
+                )
+            self.drain()
         self.messages = 0
         self.consumed = 0
         self.bytes = 0
@@ -283,3 +315,7 @@ class MessageBus:
         self.bytes_estimated = 0
         self.rounds = 0
         self.by_tag = defaultdict(int)
+
+    def close(self) -> None:
+        """Release the transport's sockets/threads (no-op when in-memory)."""
+        self.transport.close()

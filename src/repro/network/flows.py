@@ -51,6 +51,12 @@ def record_threshold_decrypt(
     rounds (ciphertext broadcast, share broadcast).  Every receiver drains
     and decodes her copy of each message (``MessageBus.receive``), so the
     flow leaves all inboxes empty and any wire-format drift surfaces here.
+
+    The flow never assumes same-process synchrony: each ``receive`` awaits
+    delivery through the transport's ``wait_pending`` seam, and the final
+    ``round`` flushes in-flight frames before draining — over an
+    :class:`~repro.network.transport.AsyncioTransport` the broadcast bytes
+    genuinely cross a socket before the receivers decode them.
     """
     count = len(ciphertexts)
     if count == 0:

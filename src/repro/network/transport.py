@@ -3,28 +3,84 @@
 The :class:`~repro.network.bus.MessageBus` serializes every protocol
 payload through its :class:`~repro.network.wire.WireCodec` and hands the
 resulting bytes to a :class:`Transport`, which routes them to per-receiver
-inboxes.  The interface is deliberately minimal and non-blocking —
-``deliver`` / ``poll`` / ``pending`` — so the ROADMAP's async step can
-drop in an asyncio implementation (same methods as coroutines over real
-sockets) without touching the bus or any protocol code.
+inboxes.  The interface is deliberately minimal — ``deliver`` / ``poll`` /
+``peek`` / ``pending`` — plus an explicit **await-delivery seam**
+(``wait_pending`` / ``flush``) so the same protocol code runs over a
+transport whose delivery is not instantaneous:
 
-:class:`InMemoryTransport` is the synchronous single-process
-implementation.  Delivery is drain-based: the bus's receivers consume
-their inboxes (``MessageBus.receive`` decodes explicitly; every
-synchronisation round drains the rest), so the default transport is
-unbounded and inboxes stay empty between protocol phases.  A bounded
-``capacity`` remains available for tests and for deployments that want an
-explicit backpressure bound (oldest messages are dropped once full, and
-counted); byte accounting is done by the bus at delivery time, so a
-bounded inbox never affects the measured totals.
+* :class:`InMemoryTransport` is the synchronous single-process
+  implementation.  Delivery is drain-based: the bus's receivers consume
+  their inboxes (``MessageBus.receive`` decodes explicitly; every
+  synchronisation round drains the rest), so the default transport is
+  unbounded and inboxes stay empty between protocol phases.  A bounded
+  ``capacity`` remains available for deployments that want an explicit
+  backpressure bound — and a full inbox now **refuses** the message with
+  :class:`TransportOverflowError` instead of silently evicting the oldest
+  one (the seed behaviour, which let a run continue with protocol flows
+  mis-sequenced).
+
+* :class:`AsyncioTransport` moves the same :class:`Envelope` bytes over
+  real local TCP sockets: every party gets a listening socket on an
+  asyncio event loop (run on a background thread), ``deliver`` writes a
+  length-prefixed frame to the receiver's socket, and the receiver's
+  server task appends the decoded envelope to her inbox.  Because arrival
+  is asynchronous, callers synchronise through the seam: ``wait_pending``
+  blocks until a receiver has mail, ``flush`` blocks until every frame
+  handed to ``deliver`` has physically arrived.
+
+Byte accounting is done by the bus at delivery time, so the transport
+never affects the measured totals; ``snapshot()`` exposes the transport's
+own ``delivered`` / ``dropped`` counters so a lossy or refusing transport
+is visible in every cost snapshot.
 """
 
 from __future__ import annotations
 
+import asyncio
+import struct
+import threading
 from collections import deque
 from dataclasses import dataclass
 
-__all__ = ["Envelope", "Transport", "InMemoryTransport"]
+__all__ = [
+    "Envelope",
+    "Transport",
+    "TransportOverflowError",
+    "InMemoryTransport",
+    "AsyncioTransport",
+    "encode_frame",
+    "decode_frame",
+    "make_transport",
+]
+
+
+def make_transport(spec, n_parties: int) -> "Transport":
+    """Resolve a transport spec: None/name/instance → :class:`Transport`.
+
+    ``None`` and ``"inmemory"`` build the synchronous default;
+    ``"asyncio"`` builds a socket-backed :class:`AsyncioTransport`; an
+    existing :class:`Transport` instance passes through (its party count
+    must match).
+    """
+    if spec is None or spec == "inmemory":
+        return InMemoryTransport(n_parties)
+    if spec == "asyncio":
+        return AsyncioTransport(n_parties)
+    if isinstance(spec, Transport):
+        declared = getattr(spec, "n_parties", n_parties)
+        if declared != n_parties:
+            raise ValueError(
+                f"transport is wired for {declared} parties, need {n_parties}"
+            )
+        return spec
+    raise ValueError(
+        f"unknown transport {spec!r}: expected 'inmemory', 'asyncio', or a "
+        f"Transport instance"
+    )
+
+
+class TransportOverflowError(RuntimeError):
+    """A bounded inbox refused a message (delivery would have lost data)."""
 
 
 @dataclass(frozen=True)
@@ -40,11 +96,53 @@ class Envelope:
         return len(self.data)
 
 
+# -- socket framing ----------------------------------------------------------
+
+#: Frame body header: sender (u32), receiver (u32), tag length (u16).
+_HEADER = struct.Struct("!IIH")
+#: Length prefix (u32) covering the whole frame body.
+_LENGTH = struct.Struct("!I")
+
+
+def encode_frame(envelope: Envelope) -> bytes:
+    """Length-prefixed socket framing of one :class:`Envelope`.
+
+    Layout: ``u32 body_length | u32 sender | u32 receiver | u16 tag_length
+    | tag (utf-8) | wire bytes``.  The payload bytes are exactly the
+    codec's serialization — the frame adds addressing, not encoding.
+    """
+    tag = envelope.tag.encode("utf-8")
+    body = (
+        _HEADER.pack(envelope.sender, envelope.receiver, len(tag))
+        + tag
+        + envelope.data
+    )
+    return _LENGTH.pack(len(body)) + body
+
+
+def decode_frame(body: bytes) -> Envelope:
+    """Rebuild an :class:`Envelope` from a frame body (prefix stripped)."""
+    if len(body) < _HEADER.size:
+        raise ValueError(f"truncated frame of {len(body)} bytes")
+    sender, receiver, tag_length = _HEADER.unpack_from(body)
+    offset = _HEADER.size
+    if len(body) < offset + tag_length:
+        raise ValueError("truncated frame tag")
+    tag = body[offset : offset + tag_length].decode("utf-8")
+    data = bytes(body[offset + tag_length :])
+    return Envelope(sender=sender, receiver=receiver, tag=tag, data=data)
+
+
 class Transport:
-    """Interface every transport implements (sync now, asyncio-ready)."""
+    """Interface every transport implements (sync or socket-backed)."""
 
     def deliver(self, envelope: Envelope) -> None:
-        """Route one serialized message to its receiver's inbox."""
+        """Route one serialized message to its receiver's inbox.
+
+        Raises :class:`TransportOverflowError` instead of dropping when a
+        bounded inbox is full — silent loss would let the run continue
+        with protocol flows mis-sequenced.
+        """
         raise NotImplementedError
 
     def poll(self, receiver: int) -> Envelope | None:
@@ -63,6 +161,38 @@ class Transport:
         """Number of undelivered messages waiting for ``receiver``."""
         raise NotImplementedError
 
+    # -- await-delivery seam ------------------------------------------------
+
+    def wait_pending(
+        self, receiver: int, count: int = 1, timeout: float | None = None
+    ) -> bool:
+        """Block until ``receiver`` has ``count`` pending messages.
+
+        The synchronous transports deliver instantaneously, so the default
+        implementation just reports the current state; socket transports
+        override it to actually wait for in-flight frames.
+        """
+        return self.pending(receiver) >= count
+
+    def flush(self, timeout: float | None = None) -> None:
+        """Block until every delivered message has reached its inbox.
+
+        No-op for instantaneous transports.  Drain loops and end-of-run
+        invariants call this first so in-flight frames cannot be mistaken
+        for an empty inbox.
+        """
+
+    def close(self) -> None:
+        """Release sockets/threads; idempotent (no-op for in-memory)."""
+
+    def snapshot(self) -> dict[str, object]:
+        """Transport-level delivery counters for cost snapshots."""
+        return {
+            "kind": type(self).__name__,
+            "delivered": getattr(self, "delivered", 0),
+            "dropped": getattr(self, "dropped", 0),
+        }
+
 
 class InMemoryTransport(Transport):
     """Synchronous in-process transport with per-receiver FIFO inboxes."""
@@ -74,11 +204,9 @@ class InMemoryTransport(Transport):
             raise ValueError("inbox capacity must be positive (or None)")
         self.n_parties = n_parties
         self.capacity = capacity
-        self._inboxes: list[deque[Envelope]] = [
-            deque(maxlen=capacity) for _ in range(n_parties)
-        ]
+        self._inboxes: list[deque[Envelope]] = [deque() for _ in range(n_parties)]
         self.delivered = 0  # total messages ever routed
-        self.dropped = 0  # messages evicted by a bounded inbox
+        self.dropped = 0  # messages refused by a bounded inbox
 
     def _check_party(self, index: int) -> None:
         if not 0 <= index < self.n_parties:
@@ -88,8 +216,15 @@ class InMemoryTransport(Transport):
         self._check_party(envelope.sender)
         self._check_party(envelope.receiver)
         inbox = self._inboxes[envelope.receiver]
-        if self.capacity is not None and len(inbox) == self.capacity:
-            self.dropped += 1  # deque(maxlen=...) evicts the oldest
+        if self.capacity is not None and len(inbox) >= self.capacity:
+            # Refuse loudly.  The seed evicted the oldest queued message
+            # here, which silently mis-sequenced every later receive.
+            self.dropped += 1
+            raise TransportOverflowError(
+                f"inbox of party {envelope.receiver} is full "
+                f"(capacity={self.capacity}); delivering would lose a "
+                f"protocol message"
+            )
         inbox.append(envelope)
         self.delivered += 1
 
@@ -110,3 +245,240 @@ class InMemoryTransport(Transport):
     def clear(self) -> None:
         for inbox in self._inboxes:
             inbox.clear()
+
+
+class AsyncioTransport(Transport):
+    """The same inbox semantics over real local TCP sockets.
+
+    One listening socket per party (ephemeral ports on ``host``), all
+    served by a single asyncio event loop on a background daemon thread.
+    ``deliver`` frames the envelope (:func:`encode_frame`) and writes it to
+    the receiver's socket over a lazily opened, persistent connection; the
+    receiver's server task decodes arriving frames into her inbox and
+    wakes anyone blocked in :meth:`wait_pending` / :meth:`flush`.
+
+    The synchronous ``deliver``/``poll``/``peek``/``pending`` interface is
+    unchanged — protocol code cannot tell the transports apart except
+    through timing — but arrival is genuinely asynchronous, so the bus
+    synchronises through the await-delivery seam before it drains or
+    asserts empties.
+
+    Per-receiver FIFO order is preserved: all frames for one receiver
+    travel over one TCP connection, and ``deliver`` returns only after the
+    frame is handed to the socket, so delivery order equals call order.
+    """
+
+    def __init__(
+        self,
+        n_parties: int,
+        host: str = "127.0.0.1",
+        capacity: int | None = None,
+        timeout: float = 30.0,
+    ):
+        if n_parties < 1:
+            raise ValueError("transport needs at least one party")
+        if capacity is not None and capacity < 1:
+            raise ValueError("inbox capacity must be positive (or None)")
+        self.n_parties = n_parties
+        self.host = host
+        self.capacity = capacity
+        self.timeout = timeout
+        self.delivered = 0
+        self.dropped = 0
+        self._inboxes: list[deque[Envelope]] = [deque() for _ in range(n_parties)]
+        self._cond = threading.Condition()
+        self._sent = 0  # frames handed to deliver()
+        self._arrived = 0  # frames enqueued at an inbox
+        self._failure: Exception | None = None
+        self._closed = False
+        self._servers: list[asyncio.AbstractServer] = []
+        self._writers: dict[int, asyncio.StreamWriter] = {}
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._run_loop, name="asyncio-transport", daemon=True
+        )
+        self._thread.start()
+        #: Per-party listening ports — the deployment's "address book".
+        self.ports: tuple[int, ...] = self._call(self._start_servers())
+
+    # -- event loop plumbing ------------------------------------------------
+
+    def _run_loop(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_forever()
+
+    def _call(self, coroutine):
+        """Run a coroutine on the transport loop, blocking the caller."""
+        future = asyncio.run_coroutine_threadsafe(coroutine, self._loop)
+        return future.result(self.timeout)
+
+    async def _start_servers(self) -> tuple[int, ...]:
+        ports = []
+        for party in range(self.n_parties):
+            server = await asyncio.start_server(
+                self._make_handler(party), self.host, 0
+            )
+            self._servers.append(server)
+            ports.append(server.sockets[0].getsockname()[1])
+        return tuple(ports)
+
+    def _make_handler(self, party: int):
+        async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+            try:
+                while True:
+                    prefix = await reader.readexactly(_LENGTH.size)
+                    (length,) = _LENGTH.unpack(prefix)
+                    body = await reader.readexactly(length)
+                    self._enqueue(party, decode_frame(body))
+            except (asyncio.IncompleteReadError, ConnectionResetError):
+                pass  # sender closed the connection
+            except asyncio.CancelledError:
+                pass  # transport shutdown reaps the handler; end cleanly
+            finally:
+                writer.close()
+
+        return handle
+
+    def _enqueue(self, party: int, envelope: Envelope) -> None:
+        with self._cond:
+            if (
+                self.capacity is not None
+                and len(self._inboxes[party]) >= self.capacity
+            ):
+                # The frame is already off the wire; refusing it here must
+                # still fail the run, so the error is raised at the next
+                # synchronisation point (deliver/flush/wait_pending).
+                self.dropped += 1
+                self._failure = TransportOverflowError(
+                    f"inbox of party {party} is full (capacity="
+                    f"{self.capacity}); a protocol message was refused"
+                )
+            else:
+                self._inboxes[party].append(envelope)
+                self.delivered += 1
+            self._arrived += 1
+            self._cond.notify_all()
+
+    async def _send(self, envelope: Envelope) -> None:
+        writer = self._writers.get(envelope.receiver)
+        if writer is None:
+            _, writer = await asyncio.open_connection(
+                self.host, self.ports[envelope.receiver]
+            )
+            self._writers[envelope.receiver] = writer
+        writer.write(encode_frame(envelope))
+        await writer.drain()
+
+    # -- Transport interface ------------------------------------------------
+
+    def _check_party(self, index: int) -> None:
+        if not 0 <= index < self.n_parties:
+            raise ValueError(f"party index {index} out of range")
+
+    def _check_failure(self) -> None:
+        if self._failure is not None:
+            raise self._failure
+
+    def deliver(self, envelope: Envelope) -> None:
+        self._check_party(envelope.sender)
+        self._check_party(envelope.receiver)
+        if self._closed:
+            raise RuntimeError("transport is closed")
+        self._check_failure()
+        with self._cond:
+            self._sent += 1
+        try:
+            self._call(self._send(envelope))
+        except Exception:
+            with self._cond:
+                self._sent -= 1
+                self._cond.notify_all()
+            raise
+
+    def poll(self, receiver: int) -> Envelope | None:
+        self._check_party(receiver)
+        with self._cond:
+            self._check_failure()
+            inbox = self._inboxes[receiver]
+            return inbox.popleft() if inbox else None
+
+    def peek(self, receiver: int) -> Envelope | None:
+        self._check_party(receiver)
+        with self._cond:
+            self._check_failure()
+            inbox = self._inboxes[receiver]
+            return inbox[0] if inbox else None
+
+    def pending(self, receiver: int) -> int:
+        self._check_party(receiver)
+        with self._cond:
+            return len(self._inboxes[receiver])
+
+    def wait_pending(
+        self, receiver: int, count: int = 1, timeout: float | None = None
+    ) -> bool:
+        self._check_party(receiver)
+        deadline = self.timeout if timeout is None else timeout
+        with self._cond:
+            satisfied = self._cond.wait_for(
+                lambda: self._failure is not None
+                or len(self._inboxes[receiver]) >= count,
+                timeout=deadline,
+            )
+            self._check_failure()
+            return satisfied
+
+    def flush(self, timeout: float | None = None) -> None:
+        deadline = self.timeout if timeout is None else timeout
+        with self._cond:
+            arrived = self._cond.wait_for(
+                lambda: self._failure is not None or self._arrived >= self._sent,
+                timeout=deadline,
+            )
+            self._check_failure()
+            if not arrived:
+                raise TimeoutError(
+                    f"{self._sent - self._arrived} frames still in flight "
+                    f"after {deadline:.1f}s"
+                )
+
+    def clear(self) -> None:
+        self.flush()
+        with self._cond:
+            for inbox in self._inboxes:
+                inbox.clear()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._call(self._shutdown())
+        except Exception:
+            pass  # tearing down anyway; the loop stop below still runs
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(self.timeout)
+        self._loop.close()
+
+    async def _shutdown(self) -> None:
+        for writer in self._writers.values():
+            writer.close()
+        self._writers.clear()
+        for server in self._servers:
+            server.close()
+            await server.wait_closed()
+        self._servers.clear()
+        # Reap the per-connection handler tasks so nothing runs (or logs
+        # "task was destroyed") after the loop stops.
+        current = asyncio.current_task()
+        stale = [t for t in asyncio.all_tasks() if t is not current]
+        for task in stale:
+            task.cancel()
+        await asyncio.gather(*stale, return_exceptions=True)
+
+    def __del__(self) -> None:
+        try:
+            if not self._closed and self._loop.is_running():
+                self.close()
+        except Exception:
+            pass

@@ -1,0 +1,198 @@
+"""The deployment acceptance bar: changing the physical deployment changes
+*nothing* observable about the protocol.
+
+Two parity levels, both against the single-process in-memory baseline:
+
+1. **Socket transport** — ``Federation(parties, transport="asyncio")``
+   routes every protocol payload over real local TCP sockets.
+2. **Per-party processes** — ``DeployedFederation`` additionally runs each
+   non-super party in her own worker process (her columns and key share
+   live only there).
+
+``PivotClassifier.fit``/``predict`` must produce bit-identical models and
+predictions with identical measured bytes (total and per tag), rounds,
+and Ce/Cd/Cs/Cc operation counts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import opcount
+from repro.core import PivotConfig
+from repro.crypto.threshold import PartialDecryption, combine_partial_decryptions
+from repro.data import make_classification
+from repro.federation import Federation, Party, PivotClassifier
+from repro.federation.deployment import DeployedFederation, RemoteOpError
+from repro.tree import TreeParams
+
+CONFIG = PivotConfig(
+    keysize=256, tree=TreeParams(max_depth=2, max_splits=2), seed=3
+)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return make_classification(24, 4, n_classes=2, seed=11)
+
+
+def _parties(X, y):
+    return [Party(X[:, :2], labels=y, name="super"), Party(X[:, 2:])]
+
+
+def _run(federation, rows):
+    """fit + predict under op counting; close the federation afterwards."""
+    with federation as fed:
+        clf = PivotClassifier(protocol="basic")
+        with opcount.counting() as ops:
+            clf.fit(fed)
+            predictions = clf.predict(rows)
+        fed.assert_drained()
+        return {
+            "signature": clf.model_.structure_signature(),
+            "predictions": list(predictions),
+            "ops": dict(ops),
+            "cost": fed.cost_snapshot(),
+        }
+
+
+@pytest.fixture(scope="module")
+def baseline(data):
+    X, y = data
+    return _run(Federation(_parties(X, y), config=CONFIG), X[:6])
+
+
+def _assert_parity(result, baseline):
+    assert result["signature"] == baseline["signature"]
+    assert result["predictions"] == baseline["predictions"]
+    assert result["ops"] == baseline["ops"]
+    ours, theirs = result["cost"]["bus"], baseline["cost"]["bus"]
+    assert ours["bytes_measured"] == theirs["bytes_measured"]
+    assert ours["bytes_estimated"] == theirs["bytes_estimated"]
+    assert ours["rounds"] == theirs["rounds"]
+    assert ours["by_tag"] == theirs["by_tag"]
+    assert (
+        result["cost"]["conversions"] == baseline["cost"]["conversions"]
+    )
+
+
+def test_asyncio_transport_parity(data, baseline):
+    X, y = data
+    result = _run(
+        Federation(_parties(X, y), config=CONFIG, transport="asyncio"), X[:6]
+    )
+    assert result["cost"]["bus"]["transport"]["kind"] == "AsyncioTransport"
+    assert result["cost"]["bus"]["transport"]["dropped"] == 0
+    _assert_parity(result, baseline)
+
+
+def test_per_party_process_parity(data, baseline):
+    X, y = data
+    result = _run(DeployedFederation(_parties(X, y), config=CONFIG), X[:6])
+    assert result["cost"]["bus"]["transport"]["kind"] == "AsyncioTransport"
+    _assert_parity(result, baseline)
+
+
+# -- the physical locality guarantee -----------------------------------------
+
+
+@pytest.fixture()
+def deployed(data):
+    X, y = data
+    fed = DeployedFederation(_parties(X, y), config=CONFIG)
+    yield fed
+    fed.close()
+
+
+def test_remote_columns_do_not_exist_in_orchestrator(deployed):
+    remote = deployed.context.clients[1]
+    with pytest.raises(RemoteOpError, match="worker process"):
+        remote.features.read()
+    with pytest.raises(RemoteOpError, match="worker process"):
+        np.asarray(remote.features)
+    # The orchestrator-side Party handle holds only NaN poison.
+    assert np.isnan(deployed.parties[1]._raw_features).all()
+    # ... as does the context's partition slot for the remote party.
+    assert np.isnan(deployed.context.partition.local_features[1]).all()
+    # The super client's own data stays local and real.
+    assert not np.isnan(deployed.context.partition.local_features[0]).any()
+
+
+def test_remote_party_local_ops_match_local_computation(data, deployed):
+    X, y = data
+    remote = deployed.context.clients[1]
+    block = X[:, 2:]
+    for feature in range(block.shape[1]):
+        for split, threshold in enumerate(remote.split_values[feature]):
+            expected = (block[:, feature] <= threshold).astype(np.int64)
+            assert np.array_equal(remote.indicator(feature, split), expected)
+        matrix = remote.indicator_matrix(feature)
+        assert matrix.shape == (len(block), remote.n_splits(feature))
+    assert np.array_equal(remote.local_row(5), block[5])
+
+
+def test_worker_holds_a_working_key_share(deployed):
+    """The provisioned share really decrypts: the worker's partial
+    decryption combines with the super client's into the plaintext."""
+    threshold = deployed.context.threshold
+    ct = threshold.public_key.encrypt(123)
+    worker_values = deployed.workers[1].request(
+        "partial_decrypt", ciphertexts=[ct]
+    )
+    partials = [
+        threshold.shares[0].partial_decrypt(ct),
+        PartialDecryption(1, worker_values[0]),
+    ]
+    assert (
+        combine_partial_decryptions(threshold.public_key, partials, 2) == 123
+    )
+    # The orchestrator-side Party handle gave up its copy of the share.
+    assert deployed.parties[1].key_share is None
+
+
+def test_worker_failure_is_loud(deployed):
+    with pytest.raises(RemoteOpError, match="failed"):
+        deployed.workers[1].request("indicator", feature=99, split=0)
+    with pytest.raises(RemoteOpError, match="unknown party op"):
+        deployed.workers[1].request("exfiltrate")
+
+
+def test_worker_death_surfaces_as_remote_op_error(deployed):
+    worker = deployed.workers[1]
+    worker._proc.terminate()
+    worker._proc.join(5.0)
+    with pytest.raises(RemoteOpError, match="worker"):
+        worker.request("info")
+
+
+def test_poisoned_parties_cannot_be_refederated(data):
+    """DeployedFederation ships a party's columns to her worker and
+    poisons the local copy — re-federating that Party object must fail
+    validation, not silently train on NaN."""
+    X, y = data
+    parties = _parties(X, y)
+    with DeployedFederation(parties, config=CONFIG):
+        pass
+    with pytest.raises(ValueError, match="worker process"):
+        Federation(parties, config=CONFIG)
+    with pytest.raises(ValueError, match="worker process"):
+        DeployedFederation(parties, config=CONFIG)
+
+
+def test_from_partition_and_from_global_really_deploy(data):
+    """The inherited constructors must route through the deploying
+    __init__ (the base-class cls.__new__ path would skip the workers)."""
+    X, y = data
+    with DeployedFederation.from_global(X, y, 2, config=CONFIG) as fed:
+        assert isinstance(fed, DeployedFederation)
+        assert sorted(fed.workers) == [1]
+        assert fed.context.bus.transport.snapshot()["kind"] == "AsyncioTransport"
+        assert np.isnan(fed.parties[1]._raw_features).all()
+
+
+def test_logistic_refuses_process_deployment(data, deployed):
+    """LogisticTrainer reads whole raw columns per epoch; over a process
+    deployment those are physically absent — refuse at fit time."""
+    from repro.federation import PivotLogisticClassifier
+
+    with pytest.raises(NotImplementedError, match="worker process"):
+        PivotLogisticClassifier(n_epochs=1).fit(deployed)

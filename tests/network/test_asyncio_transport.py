@@ -1,0 +1,149 @@
+"""AsyncioTransport: the same inbox semantics over real local sockets.
+
+Routing, per-receiver FIFO, the await-delivery seam (wait_pending/flush),
+bounded-capacity refusal, lifecycle — plus the bus-level behaviours the
+socket transport needs (receive awaits delivery; drain flushes in-flight
+frames first).
+"""
+
+import pytest
+
+from repro.network.bus import MessageBus
+from repro.network.transport import (
+    AsyncioTransport,
+    Envelope,
+    TransportOverflowError,
+)
+from repro.network.wire import WireCodec
+
+
+@pytest.fixture
+def transport():
+    t = AsyncioTransport(3)
+    yield t
+    t.close()
+
+
+def _env(sender, receiver, data=b"x", tag="t"):
+    return Envelope(sender=sender, receiver=receiver, tag=tag, data=data)
+
+
+def test_listens_on_per_party_ports(transport):
+    assert len(transport.ports) == 3
+    assert len(set(transport.ports)) == 3
+    assert all(port > 0 for port in transport.ports)
+
+
+def test_roundtrip_over_sockets(transport):
+    transport.deliver(_env(0, 2, b"alpha", tag="stats"))
+    assert transport.wait_pending(2, timeout=5.0)
+    envelope = transport.poll(2)
+    assert envelope == _env(0, 2, b"alpha", tag="stats")
+    assert transport.poll(2) is None
+    assert transport.delivered == 1
+
+
+def test_per_receiver_fifo_across_senders(transport):
+    for i in range(8):
+        transport.deliver(_env(i % 3, 1, bytes([i])))
+    transport.flush()
+    assert transport.pending(1) == 8
+    received = [transport.poll(1).data[0] for _ in range(8)]
+    assert received == list(range(8))
+
+
+def test_peek_does_not_consume(transport):
+    transport.deliver(_env(0, 1, b"only"))
+    transport.wait_pending(1, timeout=5.0)
+    assert transport.peek(1).data == b"only"
+    assert transport.pending(1) == 1
+    assert transport.poll(1).data == b"only"
+
+
+def test_flush_means_arrived(transport):
+    for _ in range(20):
+        transport.deliver(_env(0, 1))
+    transport.flush()
+    # After a flush every frame handed to deliver is physically queued.
+    assert transport.pending(1) == 20
+
+
+def test_wait_pending_count_and_timeout(transport):
+    transport.deliver(_env(0, 1))
+    assert transport.wait_pending(1, count=1, timeout=5.0)
+    assert not transport.wait_pending(1, count=2, timeout=0.05)
+
+
+def test_bounded_capacity_surfaces_overflow():
+    transport = AsyncioTransport(2, capacity=1)
+    try:
+        transport.deliver(_env(0, 1, b"fits"))
+        transport.flush()
+        transport.deliver(_env(0, 1, b"overflows"))
+        # The refusal happens on the receiving side of the socket; it must
+        # fail the run at the next synchronisation point, not vanish.
+        with pytest.raises(TransportOverflowError):
+            transport.flush()
+        assert transport.dropped == 1
+        with pytest.raises(TransportOverflowError):
+            transport.deliver(_env(0, 1, b"after-failure"))
+    finally:
+        transport.close()
+
+
+def test_close_is_idempotent():
+    transport = AsyncioTransport(2)
+    transport.deliver(_env(0, 1))
+    transport.close()
+    transport.close()
+    with pytest.raises(RuntimeError):
+        transport.deliver(_env(0, 1))
+
+
+def test_party_validation(transport):
+    with pytest.raises(ValueError):
+        transport.deliver(_env(0, 7))
+    with pytest.raises(ValueError):
+        transport.poll(5)
+
+
+# -- bus over sockets ---------------------------------------------------------
+
+
+@pytest.fixture
+def socket_bus(threshold3):
+    codec = WireCodec(threshold3.public_key, share_modulus=2**127 - 1)
+    bus = MessageBus(3, codec=codec, transport=AsyncioTransport(3))
+    yield bus, threshold3
+    bus.close()
+
+
+def test_bus_receive_awaits_socket_delivery(socket_bus):
+    bus, threshold = socket_bus
+    ct = threshold.public_key.encrypt(41)
+    bus.send_payload(0, 2, [ct, ct], tag="stats")
+    # The frame may still be in flight when receive is called; the
+    # await-delivery seam blocks until it arrives instead of raising.
+    received = bus.receive(2, tag="stats")
+    assert [c.raw for c in received] == [ct.raw, ct.raw]
+    bus.assert_drained()
+
+
+def test_bus_round_drains_in_flight_frames(socket_bus):
+    bus, threshold = socket_bus
+    for receiver in (1, 2):
+        bus.send_payload(0, receiver, threshold.public_key.encrypt(7), tag="m")
+    bus.round()
+    assert bus.pending_total() == 0
+    assert bus.consumed == 2
+    bus.assert_drained()
+
+
+def test_bus_snapshot_reports_socket_transport(socket_bus):
+    bus, threshold = socket_bus
+    bus.broadcast_payload(0, threshold.public_key.encrypt(1), tag="b")
+    bus.drain()
+    snap = bus.snapshot()
+    assert snap["transport"]["kind"] == "AsyncioTransport"
+    assert snap["transport"]["delivered"] == 2
+    assert snap["transport"]["dropped"] == 0

@@ -56,9 +56,35 @@ def test_reset_and_snapshot():
     bus.round()
     snap = bus.snapshot()
     assert snap["bytes"] == 10 and snap["rounds"] == 1
+    assert snap["transport"]["kind"] == "InMemoryTransport"
     bus.reset()
     assert bus.snapshot()["bytes"] == 0
     assert bus.by_tag == {}
+
+
+def test_reset_refuses_with_pending_messages(payload_bus, threshold3):
+    """The seed's reset zeroed messages/consumed but left the transport
+    inboxes populated — every later consumed/pending figure was wrong."""
+    payload_bus.send_payload(0, 1, threshold3.encrypt(5), tag="stats")
+    with pytest.raises(RuntimeError, match="still\\s+pending"):
+        payload_bus.reset()
+    # The refusal changed nothing.
+    assert payload_bus.messages == 1
+    assert payload_bus.pending_total() == 1
+    # Consuming the message (or asking reset to drain) makes it legal.
+    payload_bus.receive(1, tag="stats")
+    payload_bus.reset()
+    assert payload_bus.messages == 0
+    assert payload_bus.pending_total() == 0
+
+
+def test_reset_drain_true_consumes_then_zeroes(payload_bus, threshold3):
+    payload_bus.broadcast_payload(0, threshold3.encrypt(5), tag="stats")
+    payload_bus.reset(drain=True)
+    assert payload_bus.pending_total() == 0
+    assert payload_bus.messages == 0
+    assert payload_bus.consumed == 0
+    payload_bus.assert_drained()
 
 
 # -- payload API ---------------------------------------------------------------
@@ -101,8 +127,20 @@ def test_payload_snapshot_and_by_tag(payload_bus, threshold3):
     assert snap["bytes_measured"] == snap["bytes_estimated"] == snap["bytes"]
     assert set(snap["by_tag"]) == {"a", "b"}
     assert sum(snap["by_tag"].values()) == snap["bytes"]
-    payload_bus.reset()
+    assert snap["transport"]["delivered"] == 3
+    assert snap["transport"]["dropped"] == 0
+    payload_bus.reset(drain=True)
     assert payload_bus.snapshot()["bytes_measured"] == 0
+
+
+def test_bus_pending_is_the_endpoint_api(payload_bus, threshold3):
+    """PartyEndpoint.pending goes through bus.pending, not bus.transport —
+    a remote transport must get to flush in-flight frames first."""
+    payload_bus.send_payload(0, 2, threshold3.encrypt(3), tag="stats")
+    assert payload_bus.pending(2) == 1
+    assert payload_bus.pending(1) == 0
+    with pytest.raises(ValueError):
+        payload_bus.pending(9)
 
 
 def test_payload_requires_codec():

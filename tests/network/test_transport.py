@@ -1,8 +1,17 @@
-"""Transport routing: inboxes, FIFO order, bounded retention."""
+"""Transport routing: inboxes, FIFO order, bounded refusal, framing."""
 
 import pytest
 
-from repro.network.transport import Envelope, InMemoryTransport, Transport
+from repro.network.transport import (
+    AsyncioTransport,
+    Envelope,
+    InMemoryTransport,
+    Transport,
+    TransportOverflowError,
+    decode_frame,
+    encode_frame,
+    make_transport,
+)
 
 
 def _env(sender, receiver, data=b"x", tag="t"):
@@ -34,16 +43,25 @@ def test_party_validation():
         InMemoryTransport(2, capacity=0)
 
 
-def test_bounded_inbox_drops_oldest_and_counts():
+def test_bounded_inbox_refuses_instead_of_dropping():
+    """The seed evicted the oldest queued message once an inbox was full —
+    the run then continued with every later receive mis-sequenced.  A full
+    inbox must refuse delivery loudly."""
     transport = InMemoryTransport(2, capacity=2)
-    for i in range(4):
-        transport.deliver(_env(0, 1, bytes([i])))
+    transport.deliver(_env(0, 1, bytes([0])))
+    transport.deliver(_env(0, 1, bytes([1])))
+    for attempt in (2, 3):
+        with pytest.raises(TransportOverflowError, match="full"):
+            transport.deliver(_env(0, 1, bytes([attempt])))
+    # Nothing was lost: the queued messages survive in order, and the
+    # refusals are counted for cost snapshots.
     assert transport.pending(1) == 2
     assert transport.dropped == 2
-    assert transport.delivered == 4
-    # The two newest survive.
-    assert transport.poll(1).data == bytes([2])
-    assert transport.poll(1).data == bytes([3])
+    assert transport.delivered == 2
+    assert transport.poll(1).data == bytes([0])
+    assert transport.poll(1).data == bytes([1])
+    snap = transport.snapshot()
+    assert snap["delivered"] == 2 and snap["dropped"] == 2
 
 
 def test_clear():
@@ -61,3 +79,42 @@ def test_interface_is_abstract():
         base.poll(0)
     with pytest.raises(NotImplementedError):
         base.pending(0)
+
+
+def test_wait_pending_default_is_instantaneous():
+    transport = InMemoryTransport(2)
+    assert not transport.wait_pending(1)
+    transport.deliver(_env(0, 1))
+    assert transport.wait_pending(1)
+    assert not transport.wait_pending(1, count=2)
+    transport.flush()  # no-op for the synchronous transport
+
+
+def test_frame_roundtrip():
+    envelope = _env(3, 9, data=b"\x00\x01\xff" * 7, tag="threshold-decrypt")
+    frame = encode_frame(envelope)
+    # u32 length prefix covers exactly the rest of the frame.
+    assert int.from_bytes(frame[:4], "big") == len(frame) - 4
+    assert decode_frame(frame[4:]) == envelope
+
+
+def test_frame_rejects_truncation():
+    frame = encode_frame(_env(0, 1, b"payload"))
+    with pytest.raises(ValueError):
+        decode_frame(frame[4:9])
+
+
+def test_make_transport_resolution():
+    assert isinstance(make_transport(None, 2), InMemoryTransport)
+    assert isinstance(make_transport("inmemory", 3), InMemoryTransport)
+    existing = InMemoryTransport(2)
+    assert make_transport(existing, 2) is existing
+    with pytest.raises(ValueError, match="2 parties"):
+        make_transport(existing, 3)
+    with pytest.raises(ValueError, match="unknown transport"):
+        make_transport("carrier-pigeon", 2)
+    socket_transport = make_transport("asyncio", 2)
+    try:
+        assert isinstance(socket_transport, AsyncioTransport)
+    finally:
+        socket_transport.close()
