@@ -12,6 +12,7 @@ fast CI regression check, or under pytest-benchmark for per-op statistics:
 """
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
@@ -24,7 +25,10 @@ from common import calibrated_costs, print_table
 from repro.analysis import opcount
 from repro.crypto import PaillierEncoder, generate_keypair
 from repro.crypto.batch import BatchCryptoEngine
-from repro.crypto.threshold import generate_threshold_keypair
+from repro.crypto.threshold import (
+    combine_partial_vectors,
+    generate_threshold_keypair,
+)
 from repro.mpc import FixedPointOps, MPCEngine, comparison
 
 
@@ -192,6 +196,129 @@ def batch_report(
     return {"crt": crt_speedup, "encrypt": enc_speedup}
 
 
+def threshold_report(
+    keysize: int = 512,
+    vector: int = 32,
+    n_parties: int = 3,
+    repeats: int = 5,
+    workers: int = 2,
+    smoke: bool = False,
+    json_path: str | None = None,
+) -> dict[str, float]:
+    """Simulate vs combine threshold-decryption throughput (§2.1 realism).
+
+    ``simulate`` recovers each plaintext with one dealer-key CRT
+    decryption; ``combine`` runs the real data flow — every party's
+    c^{d_i} share vector (:meth:`ThresholdKeyShare.partial_decrypt_batch`,
+    here routed through :meth:`BatchCryptoEngine.partial_decrypt_batch`
+    so the exponentiations can fan out over worker processes) plus the
+    element-wise share combination.  ``json_path`` persists the numbers
+    as ``BENCH_threshold.json`` so CI records the perf trajectory.
+    """
+    tp = generate_threshold_keypair(n_parties, keysize)
+    engine = BatchCryptoEngine(tp.public_key, threshold=tp)
+    cts = [tp.public_key.encrypt(i - vector // 2) for i in range(vector)]
+
+    tp.decrypt_mode = "simulate"
+    t_simulate = _best_of(lambda: engine.threshold_decrypt_batch(cts), repeats)
+
+    from repro.network.wire import PartialDecryptionVector
+
+    def run_combine():
+        vectors = [
+            PartialDecryptionVector(
+                share.party_index,
+                tuple(
+                    p.value for p in engine.partial_decrypt_batch(share, cts)
+                ),
+            )
+            for share in tp.shares
+        ]
+        return combine_partial_vectors(tp.public_key, vectors, n_parties)
+
+    t_share = _best_of(
+        lambda: engine.partial_decrypt_batch(tp.shares[0], cts), repeats
+    )
+    t_combine = _best_of(run_combine, repeats)
+
+    # The same share vector through the multiprocessing fan-out — the
+    # parallel path a deployment's hot loop rides on multi-core hosts.
+    with BatchCryptoEngine(
+        tp.public_key, threshold=tp, workers=workers
+    ) as fanout:
+        fanout.partial_decrypt_batch(tp.shares[0], cts)  # warm the pool
+        t_share_fanout = _best_of(
+            lambda: fanout.partial_decrypt_batch(tp.shares[0], cts), repeats
+        )
+        fanout_correct = [
+            p.value for p in fanout.partial_decrypt_batch(tp.shares[0], cts)
+        ] == [p.value for p in engine.partial_decrypt_batch(tp.shares[0], cts)]
+
+    tp.decrypt_mode = "combine"
+    expected = [i - vector // 2 for i in range(vector)]
+    correct = (
+        engine.threshold_decrypt_batch(cts) == expected
+        and run_combine() == expected
+    )
+
+    simulate_tput = vector / t_simulate
+    combine_tput = vector / t_combine
+    print_table(
+        f"Threshold decryption: simulate vs combine "
+        f"(keysize={keysize}, m={n_parties}, batch={vector})",
+        ["path", "ms / batch", "ciphertexts / s"],
+        [
+            ["simulate (dealer CRT)", t_simulate * 1e3, f"{simulate_tput:.0f}"],
+            [
+                f"one party's share vector x{vector}",
+                t_share * 1e3,
+                f"{vector / t_share:.0f}",
+            ],
+            [
+                f"share vector, {workers}-worker fan-out",
+                t_share_fanout * 1e3,
+                f"{vector / t_share_fanout:.0f}",
+            ],
+            [
+                f"combine ({n_parties} share vectors)",
+                t_combine * 1e3,
+                f"{combine_tput:.0f}",
+            ],
+        ],
+    )
+    print(
+        f"plaintext round-trip (both modes): {'OK' if correct else 'MISMATCH'}; "
+        f"fan-out shares match serial: {'OK' if fanout_correct else 'MISMATCH'}"
+    )
+    results = {
+        "keysize": keysize,
+        "n_parties": n_parties,
+        "batch": vector,
+        "workers": workers,
+        "simulate_ms_per_batch": t_simulate * 1e3,
+        "share_vector_ms_per_batch": t_share * 1e3,
+        "share_vector_fanout_ms_per_batch": t_share_fanout * 1e3,
+        "combine_ms_per_batch": t_combine * 1e3,
+        "simulate_ciphertexts_per_s": simulate_tput,
+        "combine_ciphertexts_per_s": combine_tput,
+        "combine_over_simulate": t_combine / t_simulate,
+    }
+    if json_path:
+        Path(json_path).write_text(json.dumps(results, indent=2) + "\n")
+        print(f"wrote {json_path}")
+    if smoke:
+        assert correct, "combine-mode plaintexts diverge from simulate"
+        assert fanout_correct, "fan-out share vector diverges from serial"
+        # Combine does m full-size pows per ciphertext where simulate does
+        # one CRT decryption; it must still land in the same decade.
+        assert results["combine_over_simulate"] < 50, (
+            f"combine path {results['combine_over_simulate']:.1f}x slower "
+            "than simulate — the share-combination hot loop regressed"
+        )
+        print("SMOKE OK: combine == simulate plaintexts, overhead bounded")
+    return results
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -200,10 +327,20 @@ def main() -> None:
         help="fast CI check: assert the batch-engine speedup floors and "
         "op-count parity, skip the full calibration table",
     )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the threshold simulate-vs-combine numbers to PATH "
+        "(e.g. BENCH_threshold.json)",
+    )
     args = parser.parse_args()
 
     if args.smoke:
         batch_report(keysize=512, vector=32, repeats=10, smoke=True)
+        threshold_report(
+            keysize=512, vector=16, repeats=3, smoke=True, json_path=args.json
+        )
         return
 
     rows = []
@@ -222,6 +359,7 @@ def main() -> None:
     print("\nShape check (paper §8.3): Cd and Cc dominate Ce and Cs — the "
           "protocols batch decryptions and avoid comparisons accordingly.")
     batch_report()
+    threshold_report(json_path=args.json)
 
 
 if __name__ == "__main__":

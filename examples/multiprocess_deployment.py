@@ -58,18 +58,33 @@ def main() -> None:
             print("cross-process read impossible:", str(error).split(";")[0])
         assert np.isnan(fed.parties[1]._raw_features).all()
 
+        # 3. ... and so is the threshold structure: after provisioning,
+        #    the dealer's private key and the workers' d_share values were
+        #    scrubbed from this process.  Every plaintext in the run above
+        #    was reconstructed from the 3 share vectors on the wire (the
+        #    workers computed theirs with their own key shares).
+        threshold = fed.context.threshold
+        print("decrypt mode:", fed.decrypt_mode)
+        assert threshold._private_key is None
+        assert [s is not None for s in threshold.shares] == [True, False, False]
+        try:
+            threshold.joint_decrypt(threshold.public_key.encrypt(1))
+        except RuntimeError as error:
+            print("orchestrator cannot decrypt alone:",
+                  str(error).split(":")[0])
+
         deployed_signature = model.model_.structure_signature()
         deployed_cost = fed.cost_snapshot()["bus"]
         deployed_predictions = list(predictions)
 
-    # 3. The single-process in-memory baseline: same data, same config.
+    # 4. The single-process in-memory baseline: same data, same config.
     with Federation(make_parties(X, y), config=config) as fed:
         baseline = PivotClassifier(protocol="basic").fit(fed)
         baseline_predictions = list(baseline.predict(fed.slices(X[:20])))
         baseline_cost = fed.cost_snapshot()["bus"]
         baseline_signature = baseline.model_.structure_signature()
 
-    # 4. Deployment parity: bit-identical model and byte-identical wire.
+    # 5. Deployment parity: bit-identical model and byte-identical wire.
     assert deployed_signature == baseline_signature
     assert deployed_predictions == baseline_predictions
     assert deployed_cost["bytes_measured"] == baseline_cost["bytes_measured"]

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.crypto.threshold import DECRYPT_MODES, decrypt_mode_default
 from repro.federation.locality import strict_locality_default
 from repro.tree.cart import TreeParams
 
@@ -60,6 +61,17 @@ class PivotConfig:
     crypto_workers: int = 0
     #: Obfuscator pool refill chunk (0 disables mask precomputation).
     crypto_pool_size: int = 256
+    #: How threshold decryptions recover plaintexts.  ``"combine"`` runs
+    #: the paper's real §2.1 data flow: every party's c^{d_i} share vector
+    #: travels on the bus and the plaintext is reconstructed only from the
+    #: m received vectors (the mode deployments are forced into once the
+    #: dealer key is scrubbed).  ``"simulate"`` shortcuts through the
+    #: dealer's retained CRT key — bit-identical results, byte counts and
+    #: Cd tallies, just faster single-process wall time.  Tri-state:
+    #: ``None`` (the default unless PIVOT_DECRYPT_MODE — the CI
+    #: threshold-realism leg — is set) resolves to ``"simulate"`` when
+    #: ``batch_crypto`` is on and ``"combine"`` otherwise.
+    decrypt_mode: str | None = field(default_factory=decrypt_mode_default)
     #: Enforce the party boundary: every raw feature/label read must happen
     #: inside the owning party's scope (repro.federation.locality), so a
     #: cross-party array read that doesn't travel on the bus raises a
@@ -81,6 +93,11 @@ class PivotConfig:
             raise ValueError("crypto_workers must be >= 0")
         if self.crypto_pool_size < 0:
             raise ValueError("crypto_pool_size must be >= 0")
+        if self.decrypt_mode not in (None, *DECRYPT_MODES):
+            raise ValueError(
+                f"decrypt_mode must be one of {DECRYPT_MODES} (or None), "
+                f"got {self.decrypt_mode!r}"
+            )
         self.tree.validate()
         if self.protocol == "enhanced":
             self.validate_enhanced_depth()

@@ -17,15 +17,23 @@ import numpy as np
 
 from repro.core.config import PivotConfig
 from repro.crypto.batch import BatchCryptoEngine
-from repro.crypto.encoding import EncryptedNumber, PaillierEncoder
-from repro.crypto.threshold import ThresholdPaillier, generate_threshold_keypair
+from repro.crypto.encoding import (
+    EncryptedNumber,
+    PaillierEncoder,
+    encrypted_dot_product,
+)
+from repro.crypto.threshold import (
+    ThresholdPaillier,
+    combine_partial_vectors,
+    generate_threshold_keypair,
+)
 from repro.data.partition import VerticalPartition
 from repro.federation.locality import LocalView, as_party
+from repro.federation.party import PartyEndpoint, PartyService
 from repro.mpc.advanced import FixedPointOps
 from repro.mpc.conversion import (
     ConversionCounters,
     ciphers_to_shares,
-    decrypt_shared_cipher,
     share_to_cipher,
 )
 from repro.mpc.engine import MPCEngine
@@ -94,6 +102,50 @@ class PivotClient:
         with self.local():
             return np.asarray(self.features.read()[t], dtype=np.float64)
 
+    def batch_sums(
+        self, rows: list[int], weights: list[EncryptedNumber]
+    ) -> list[EncryptedNumber]:
+        """Per-sample encrypted partial sums [ξ_i] = x_t,i ⊙ [θ_i] (§7.3).
+
+        The logistic trainer's per-batch local computation: for each
+        training row ``t`` the client reads *her own* columns in scope and
+        folds them into the encrypted weight block homomorphically.  Only
+        the ciphertext outputs leave the client; in the process deployment
+        the whole computation runs in the owning worker.
+        """
+        encoder = weights[0].encoder
+        with self.local():
+            local = self.features.read()
+            row_data = [np.asarray(local[t], dtype=np.float64) for t in rows]
+        out = []
+        for row in row_data:
+            coefficients = [encoder.encode(float(v)).encoding for v in row]
+            out.append(encrypted_dot_product(coefficients, weights))
+        return out
+
+    def weight_update(
+        self,
+        rows: list[int],
+        weights: list[EncryptedNumber],
+        loss_cts: list[EncryptedNumber],
+        scale: float,
+    ) -> list[EncryptedNumber]:
+        """Homomorphic gradient step on this client's weight block (§7.3):
+        [θ_ij] -= scale · Σ_t x_tij ⊗ [loss_t], reading x only in scope."""
+        encoder = weights[0].encoder
+        with self.local():
+            local = self.features.read()
+            row_data = [np.asarray(local[t], dtype=np.float64) for t in rows]
+        updated = []
+        for j, weight in enumerate(weights):
+            gradient = None
+            for row, loss_ct in zip(row_data, loss_cts):
+                coefficient = encoder.encode(-scale * float(row[j]))
+                term = loss_ct * coefficient
+                gradient = term if gradient is None else gradient + term
+            updated.append(weight + gradient)
+        return updated
+
 
 class PivotContext:
     """Shared runtime for all Pivot protocols over one vertical partition.
@@ -121,7 +173,13 @@ class PivotContext:
         remote_clients = remote_clients or {}
         m = partition.n_clients
         self.threshold = generate_threshold_keypair(m, self.config.keysize)
-        self.threshold.fast_decrypt = self.config.batch_crypto
+        #: How plaintexts are recovered (see PivotConfig.decrypt_mode):
+        #: "combine" reconstructs from the m share vectors the decryption
+        #: flow moves; "simulate" shortcuts through the dealer's retained
+        #: CRT key.  An unset config resolves from batch_crypto.
+        self.threshold.decrypt_mode = self.config.decrypt_mode or (
+            "simulate" if self.config.batch_crypto else "combine"
+        )
         self.encoder = PaillierEncoder(
             self.threshold.public_key, frac_bits=self.config.frac_bits
         )
@@ -180,6 +238,30 @@ class PivotContext:
             self.clients.append(
                 PivotClient(index=i, features=view, split_values=split_values)
             )
+        #: One reactive decrypt service per party: when a threshold
+        #: decryption is in flight, each party's service receives the
+        #: ciphertext broadcast on her endpoint, computes her c^{d_i}
+        #: share vector — with her key share here, or inside her worker
+        #: process for remote parties — and broadcasts it back.  This is
+        #: the data path of decrypt_mode="combine".
+        self.decrypt_services = []
+        for i in range(m):
+            endpoint = PartyEndpoint(self.bus, i)
+            client = self.clients[i]
+            if i in remote_clients:
+                self.decrypt_services.append(
+                    PartyService(
+                        endpoint, compute_shares=client.decryption_shares
+                    )
+                )
+            else:
+                self.decrypt_services.append(
+                    PartyService(
+                        endpoint,
+                        key_share=self.threshold.shares[i],
+                        parallel_map=self.batch._map,
+                    )
+                )
         #: The labels, owned by the super client alone (§3.1).
         self.labels = LocalView(
             partition.labels,
@@ -233,22 +315,58 @@ class PivotContext:
     def encrypt_indicator(self, bits: np.ndarray) -> list[EncryptedNumber]:
         return self.batch.encrypt_vector([int(b) for b in bits], exponent=0)
 
+    def joint_decrypt_raw(
+        self, payload: list, tag: str, signed: bool = True
+    ) -> list[int]:
+        """One batched threshold decryption: canonical flow + plaintexts.
+
+        ``payload`` is the batch as held by the caller (``EncryptedNumber``
+        or raw ``Ciphertext`` values — what travels on the wire).  In
+        ``decrypt_mode="combine"`` the per-party services answer the flow
+        with their real c^{d_i} share vectors and the plaintexts are
+        reconstructed *only* from the m received vectors — the dealer key
+        plays no part, so this path keeps working after a deployment
+        scrubs it.  In ``"simulate"`` the flow moves same-sized placeholder
+        vectors and the dealer-key CRT shortcut recovers the plaintexts
+        (bit-identical results, bytes, rounds and Cd counts).
+        """
+        if not payload:
+            return []
+        if self.threshold.decrypt_mode == "combine":
+            vectors = record_threshold_decrypt(
+                self.bus, payload, tag=tag, services=self.decrypt_services
+            )
+            return combine_partial_vectors(
+                self.threshold.public_key,
+                vectors,
+                self.n_clients,
+                signed=signed,
+            )
+        record_threshold_decrypt(self.bus, payload, tag=tag)
+        ciphertexts = [
+            p.ciphertext if isinstance(p, EncryptedNumber) else p
+            for p in payload
+        ]
+        return self.batch.threshold_decrypt_batch(ciphertexts, signed=signed)
+
     def joint_decrypt(self, value: EncryptedNumber, tag: str, wrapped: bool = False) -> float:
         """All-client decryption of a protocol output; logged as revealed.
 
         The flow moves the ciphertext broadcast *and* the m
         partial-decryption share vectors (the seed accounted only the
-        former), all as real serialized payloads.
+        former), all as real serialized payloads consumed by their
+        receivers.  ``wrapped`` strips the q-multiple a
+        :func:`~repro.mpc.conversion.share_to_cipher` ciphertext carries.
         """
-        record_threshold_decrypt(self.bus, [value], tag="threshold-decrypt")
+        raws = self.joint_decrypt_raw(
+            [value], tag="threshold-decrypt", signed=not wrapped
+        )
+        self.conversions.threshold_decryptions += 1
         if wrapped:
-            result = decrypt_shared_cipher(
-                value, self.threshold, self.fx, self.conversions
-            )
+            field = self.fx.engine.field
+            result = field.to_signed(raws[0] % field.q) * 2.0**value.exponent
         else:
-            raw = self.threshold.joint_decrypt(value.ciphertext)
-            self.conversions.threshold_decryptions += 1
-            result = raw * 2.0**value.exponent
+            result = raws[0] * 2.0**value.exponent
         self.revealed.append((tag, result))
         return result
 
@@ -264,8 +382,7 @@ class PivotContext:
         """
         if not values:
             return []
-        record_threshold_decrypt(self.bus, values, tag="threshold-decrypt")
-        raws = self.batch.threshold_decrypt_batch([v.ciphertext for v in values])
+        raws = self.joint_decrypt_raw(values, tag="threshold-decrypt")
         self.conversions.threshold_decryptions += len(values)
         results = [raw * 2.0**v.exponent for raw, v in zip(raws, values)]
         for result in results:
@@ -278,6 +395,7 @@ class PivotContext:
         return ciphers_to_shares(
             values, self.threshold, self.fx, self.conversions,
             batch_engine=self.batch, bus=self.bus,
+            services=self.decrypt_services,
         )
 
     def to_cipher(self, value: SharedValue, exponent: int | None = None) -> EncryptedNumber:

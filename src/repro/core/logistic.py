@@ -87,18 +87,23 @@ class LogisticTrainer:
         return self
 
     def _batch_losses(self, batch: list[int], label_shares) -> list:
-        """⟨σ(x·θ) - y⟩ for each sample of the batch."""
+        """⟨σ(x·θ) - y⟩ for each sample of the batch.
+
+        Each client computes her per-sample encrypted partial sums
+        ``client.batch_sums`` — her own local computation over her own
+        columns, which a process deployment executes inside her worker —
+        and only the ciphertext outputs travel to the super client.
+        """
         ctx, fx = self.ctx, self.ctx.fx
+        partials_per_client = [
+            client.batch_sums(batch, block)
+            for client, block in zip(ctx.clients, self.weights)
+        ]
         xi_cts = []
-        for t in batch:
+        for k, _ in enumerate(batch):
             total = None
-            for client, block in zip(ctx.clients, self.weights):
-                with client.local():
-                    row = client.features.read()[t]
-                coefficients = [
-                    ctx.encoder.encode(float(v)).encoding for v in row
-                ]
-                partial = encrypted_dot_product(coefficients, block)
+            for client, partials in zip(ctx.clients, partials_per_client):
+                partial = partials[k]
                 total = partial if total is None else total + partial
                 if client.index != ctx.super_client:
                     ctx.bus.send_payload(
@@ -117,22 +122,20 @@ class LogisticTrainer:
         return losses
 
     def _apply_updates(self, batch: list[int], losses) -> None:
-        """[θ_ij] -= (lr/|B|) Σ_t x_tij ⊗ [loss_t], all homomorphic."""
+        """[θ_ij] -= (lr/|B|) Σ_t x_tij ⊗ [loss_t], all homomorphic.
+
+        The gradient fold reads raw feature values, so it runs as each
+        client's own computation (``client.weight_update`` — in-process
+        here, in the owning worker for a process deployment); only the
+        updated weight ciphertexts come back.
+        """
         ctx = self.ctx
         loss_cts = [ctx.to_cipher(loss) for loss in losses]
         scale = self.learning_rate / len(batch)
-        for client, block in zip(ctx.clients, self.weights):
-            with client.local():
-                local = client.features.read()
-                for j in range(client.n_features):
-                    gradient = None
-                    for t, loss_ct in zip(batch, loss_cts):
-                        coefficient = ctx.encoder.encode(
-                            -scale * float(local[t][j])
-                        )
-                        term = loss_ct * coefficient
-                        gradient = term if gradient is None else gradient + term
-                    block[j] = block[j] + gradient
+        self.weights = [
+            client.weight_update(batch, block, loss_cts, scale)
+            for client, block in zip(ctx.clients, self.weights)
+        ]
 
     def _refresh_weights(self) -> None:
         """Share round-trip keeping exponents at -2F and stripping q-wraps."""

@@ -400,8 +400,6 @@ class TreeTrainer:
         """
         import secrets
 
-        from repro.network.flows import record_threshold_decrypt
-
         ctx, fx = self.ctx, self.fx
         m = ctx.n_clients
         mask_lists = [
@@ -420,8 +418,7 @@ class TreeTrainer:
         for party in range(1, m):
             ctx.bus.send_payload(party, 0, mask_cts[party::m], tag="eq10")
         ctx.bus.round()
-        record_threshold_decrypt(ctx.bus, masked_cts, tag="eq10")
-        decrypted = ctx.batch.threshold_decrypt_batch(masked_cts)
+        decrypted = ctx.joint_decrypt_raw(masked_cts, tag="eq10")
         ctx.conversions.threshold_decryptions += len(masked_cts)
         result = []
         terms_by_party: list[list] = [[] for _ in range(m)]

@@ -13,6 +13,7 @@ from repro.crypto.threshold import (
     ThresholdKeyShare,
     ThresholdPaillier,
     combine_partial_decryptions,
+    combine_partial_vectors,
     generate_threshold_keypair,
 )
 
@@ -28,6 +29,7 @@ __all__ = [
     "ThresholdKeyShare",
     "ThresholdPaillier",
     "combine_partial_decryptions",
+    "combine_partial_vectors",
     "generate_keypair",
     "generate_threshold_keypair",
 ]

@@ -241,19 +241,23 @@ class BatchCryptoEngine:
     ) -> list[int]:
         """Batched threshold decryption with worker fan-out.
 
-        Takes the same fast CRT simulation path as
+        In ``decrypt_mode="simulate"`` this takes the same fast CRT path as
         :meth:`~repro.crypto.threshold.ThresholdPaillier.joint_decrypt_batch`
         (identical results and Cd accounting) but spreads the per-ciphertext
         CRT exponentiations over the engine's worker pool — the O(n)·Cd
-        hot loop of the enhanced protocol.  Falls back to the bundle's own
-        batch path when the fast path is unavailable.
+        hot loop of the enhanced protocol.  In ``"combine"`` mode (or when
+        the dealer key is gone) it delegates to the bundle's real
+        share-combination path, fanning the per-share exponentiations out
+        over the same pool.
         """
         tp = self.threshold
         if tp is None:
             raise ValueError("engine was built without a threshold bundle")
-        private = tp._private_key if tp.fast_decrypt else None
+        private = tp._private_key if tp.decrypt_mode == "simulate" else None
         if private is None:
-            return tp.joint_decrypt_batch(ciphertexts, signed=signed)
+            return tp.joint_decrypt_batch(
+                ciphertexts, signed=signed, parallel_map=self._map
+            )
         pk = tp.public_key
         for ct in ciphertexts:
             if ct.public_key != pk:
@@ -261,6 +265,18 @@ class BatchCryptoEngine:
         opcount.GLOBAL.cd += len(ciphertexts)
         plains = self._map(private.raw_decrypt, [ct.raw for ct in ciphertexts])
         return [pk.to_signed(m) if signed else m for m in plains]
+
+    def partial_decrypt_batch(self, key_share, ciphertexts: list[Ciphertext]):
+        """One party's decryption-share vector, exponentiations fanned out.
+
+        The serial hot loop of
+        :meth:`~repro.crypto.threshold.ThresholdKeyShare.partial_decrypt_batch`
+        is a full-size ``pow`` per ciphertext; routing it through the
+        engine's process pool parallelises the per-party half of a real
+        (``decrypt_mode="combine"``) threshold decryption.  Returns the
+        list of :class:`~repro.crypto.threshold.PartialDecryption` values.
+        """
+        return key_share.partial_decrypt_batch(ciphertexts, parallel_map=self._map)
 
     def joint_decrypt_vector(
         self, values: list[EncryptedNumber], signed: bool = True

@@ -19,10 +19,25 @@ by libhcs which the paper uses):
 Key generation is dealer-based (see DESIGN.md §4.6): the paper assumes the
 m clients "jointly generate the keys" without giving a protocol, and its
 implementation (libhcs) likewise uses centralized share generation.
+
+Decryption modes (:attr:`ThresholdPaillier.decrypt_mode`):
+
+* ``"combine"`` — the real protocol data flow: every share computes
+  c^{d_i} mod n² and the plaintext is reconstructed *only* from the m
+  share values (:func:`combine_partial_decryptions`).  This is the mode a
+  deployment runs after the dealer's withheld key has been scrubbed
+  (:meth:`ThresholdPaillier.scrub_dealer`): with it, the orchestrator
+  provably cannot decrypt alone.
+* ``"simulate"`` — a single-process shortcut: the dealer's retained CRT
+  private key recovers each plaintext with one accelerated decryption
+  instead of m full-size exponentiations.  Bit-identical results and Cd
+  accounting (proof in :meth:`ThresholdPaillier.joint_decrypt_batch`);
+  only wall time differs.
 """
 
 from __future__ import annotations
 
+import os
 import secrets
 from dataclasses import dataclass
 
@@ -39,8 +54,42 @@ __all__ = [
     "PartialDecryption",
     "ThresholdKeyShare",
     "ThresholdPaillier",
+    "combine_partial_decryptions",
+    "combine_partial_vectors",
+    "decrypt_mode_default",
     "generate_threshold_keypair",
 ]
+
+DECRYPT_MODES = ("simulate", "combine")
+
+
+def decrypt_mode_default() -> str | None:
+    """Default for ``PivotConfig.decrypt_mode`` (env-overridable).
+
+    ``PIVOT_DECRYPT_MODE=combine`` forces real share combination for every
+    context built while it is set (the CI ``threshold-realism`` leg runs
+    the deployment tests that way); ``simulate`` forces the CRT shortcut.
+    Unset returns ``None``, which the context resolves from
+    ``batch_crypto`` (True -> simulate, False -> combine).
+    """
+    mode = os.environ.get("PIVOT_DECRYPT_MODE", "").strip().lower()
+    if mode in DECRYPT_MODES:
+        return mode
+    if mode:
+        raise ValueError(
+            f"PIVOT_DECRYPT_MODE must be one of {DECRYPT_MODES}, got {mode!r}"
+        )
+    return None
+
+
+def _serial_map(fn, items):
+    return [fn(item) for item in items]
+
+
+def _pow_share(args: tuple[int, int, int]) -> int:
+    """pow(c, d_i, n²) — top-level so a process pool can pickle it."""
+    raw, d_share, n_squared = args
+    return pow(raw, d_share, n_squared)
 
 
 @dataclass(frozen=True)
@@ -68,11 +117,27 @@ class ThresholdKeyShare:
         )
 
     def partial_decrypt_batch(
-        self, ciphertexts: list[Ciphertext]
+        self, ciphertexts: list[Ciphertext], parallel_map=None
     ) -> list[PartialDecryption]:
         """Partial decryption of a whole batch (one message in a deployment:
-        the paper's protocols always decrypt vectors of statistics)."""
-        return [self.partial_decrypt(ct) for ct in ciphertexts]
+        the paper's protocols always decrypt vectors of statistics).
+
+        ``parallel_map`` fans the full-size exponentiations — the per-party
+        hot loop of ``decrypt_mode="combine"`` — out over a worker pool
+        (pass :meth:`repro.crypto.batch.BatchCryptoEngine._map`, or use
+        :meth:`~repro.crypto.batch.BatchCryptoEngine.partial_decrypt_batch`
+        which wires it up); the default is the serial list comprehension.
+        """
+        pk = self.public_key
+        for ct in ciphertexts:
+            if ct.public_key != pk:
+                raise ValueError("ciphertext under a different public key")
+        pmap = parallel_map or _serial_map
+        values = pmap(
+            _pow_share,
+            [(ct.raw, self.d_share, pk.n_squared) for ct in ciphertexts],
+        )
+        return [PartialDecryption(self.party_index, v) for v in values]
 
 
 def combine_partial_decryptions(
@@ -100,6 +165,42 @@ def combine_partial_decryptions(
     return public_key.to_signed(plaintext) if signed else plaintext
 
 
+def combine_partial_vectors(
+    public_key: PaillierPublicKey,
+    vectors: list,
+    n_parties: int,
+    signed: bool = True,
+) -> list[int]:
+    """Element-wise combination of m per-party share *vectors*.
+
+    ``vectors`` are the m :class:`~repro.network.wire.PartialDecryptionVector`
+    payloads a threshold-decryption flow moved (duck-typed: anything with
+    ``party_index`` and ``values``), one per party, all of one batch length.
+    Returns the plaintext batch; one Cd per element, identical to the
+    per-ciphertext accounting of :func:`combine_partial_decryptions` and of
+    the simulate path.  A missing or duplicated party vector — or ragged
+    batch lengths — raises.
+    """
+    if len(vectors) != n_parties:
+        raise ValueError(
+            f"full-threshold decryption needs all {n_parties} share vectors, "
+            f"got {len(vectors)}"
+        )
+    lengths = {len(v.values) for v in vectors}
+    if len(lengths) != 1:
+        raise ValueError(f"share vectors disagree on batch length: {lengths}")
+    (count,) = lengths
+    return [
+        combine_partial_decryptions(
+            public_key,
+            [PartialDecryption(v.party_index, v.values[k]) for v in vectors],
+            n_parties,
+            signed=signed,
+        )
+        for k in range(count)
+    ]
+
+
 class ThresholdPaillier:
     """Bundle of (pk, key shares) for an m-client deployment.
 
@@ -107,55 +208,137 @@ class ThresholdPaillier:
     exactly one :class:`ThresholdKeyShare`; this bundle exists so tests and
     the trusted-setup phase can hand the shares out and so single-process
     code can run a "joint decryption" in one call.
+
+    After a process deployment provisions the shares to their owners the
+    bundle is *scrubbed* (:meth:`scrub_dealer`): the dealer's withheld
+    private key and the remote parties' ``d_share`` values are dropped, so
+    the process holding the bundle cannot decrypt without the m−1 other
+    parties — decryption then only works through the share-combination
+    message flow.
     """
 
     def __init__(
         self,
         public_key: PaillierPublicKey,
-        shares: list[ThresholdKeyShare],
+        shares: list[ThresholdKeyShare | None],
         private_key: PaillierPrivateKey | None = None,
+        decrypt_mode: str = "simulate",
     ):
         self.public_key = public_key
         self.shares = shares
         self.n_parties = len(shares)
-        # Retained for tests/debugging and for the batch engine's fast
-        # simulation path (see joint_decrypt_batch); the real protocols'
-        # message flow never uses it.
+        # Retained for tests/debugging and for the simulate mode's CRT
+        # shortcut; scrubbed by deployments, and never part of the real
+        # protocols' message flow.
         self._private_key = private_key
-        #: Allow joint_decrypt_batch to shortcut through the dealer's
-        #: withheld CRT private key.  The shortcut is bit-identical to
-        #: combining all m partial decryptions (see the proof in
-        #: joint_decrypt_batch) and keeps the Cd op counts unchanged; it
-        #: only skips the m full-size exponentiations of the simulation.
-        self.fast_decrypt = True
+        self.decrypt_mode = decrypt_mode
+
+    @property
+    def decrypt_mode(self) -> str:
+        """``"simulate"`` (dealer-key CRT shortcut) or ``"combine"``
+        (plaintexts reconstructed only from the m decryption shares)."""
+        return self._decrypt_mode
+
+    @decrypt_mode.setter
+    def decrypt_mode(self, mode: str) -> None:
+        if mode not in DECRYPT_MODES:
+            raise ValueError(
+                f"decrypt_mode must be one of {DECRYPT_MODES}, got {mode!r}"
+            )
+        self._decrypt_mode = mode
+
+    @property
+    def fast_decrypt(self) -> bool:
+        """Legacy boolean view of :attr:`decrypt_mode` (True = simulate)."""
+        return self._decrypt_mode == "simulate"
+
+    @fast_decrypt.setter
+    def fast_decrypt(self, enabled: bool) -> None:
+        self.decrypt_mode = "simulate" if enabled else "combine"
+
+    def scrub_dealer(self, keep_shares: set[int] | frozenset[int] = frozenset()) -> None:
+        """Drop the dealer's withheld key material after provisioning.
+
+        ``keep_shares`` names the parties whose shares legitimately live in
+        this process (the super client in a deployment); every other
+        party's ``d_share`` is dropped along with the private key, and
+        :attr:`decrypt_mode` is forced to ``"combine"`` — the only mode
+        that still works.  After the scrub this process provably cannot
+        decrypt alone: any decryption needs the m−1 remote share vectors.
+        """
+        self._private_key = None
+        self.shares = [
+            share if share is not None and share.party_index in keep_shares else None
+            for share in self.shares
+        ]
+        self.decrypt_mode = "combine"
+
+    @property
+    def scrubbed(self) -> bool:
+        return self._private_key is None and any(s is None for s in self.shares)
 
     def encrypt(self, plaintext: int) -> Ciphertext:
         return self.public_key.encrypt(plaintext)
 
+    def _require_shares(self) -> list[ThresholdKeyShare]:
+        if any(share is None for share in self.shares):
+            missing = [i for i, s in enumerate(self.shares) if s is None]
+            raise RuntimeError(
+                f"cannot decrypt locally: the d_share values of parties "
+                f"{missing} were scrubbed from this process (they live with "
+                f"their owners); run the share-combination flow instead"
+            )
+        return self.shares
+
     def joint_decrypt(self, ciphertext: Ciphertext, signed: bool = True) -> int:
         """All m clients decrypt together (simulation convenience)."""
-        partials = [share.partial_decrypt(ciphertext) for share in self.shares]
+        partials = [
+            share.partial_decrypt(ciphertext) for share in self._require_shares()
+        ]
         return combine_partial_decryptions(
             self.public_key, partials, self.n_parties, signed=signed
         )
 
     def joint_decrypt_batch(
-        self, ciphertexts: list[Ciphertext], signed: bool = True
+        self,
+        ciphertexts: list[Ciphertext],
+        signed: bool = True,
+        parallel_map=None,
     ) -> list[int]:
         """Threshold-decrypt a batch of ciphertexts (the hot path).
 
-        When the dealer's private key was retained and :attr:`fast_decrypt`
-        is set, each plaintext is recovered with one CRT-accelerated
-        private-key decryption instead of simulating m full-size partial
-        exponentiations.  The results are identical: with d = 1 (mod n) and
-        d = 0 (mod lambda), c^d = (1+n)^m r^{nd} = 1 + m*n (mod n^2) for
-        c = (1+n)^m r^n, so combining the partials yields exactly the
-        plaintext m that L(c^lambda)*mu recovers.  One Cd is counted per
-        ciphertext either way, matching Table 2's accounting.
+        In ``"simulate"`` mode (dealer's private key retained), each
+        plaintext is recovered with one CRT-accelerated private-key
+        decryption instead of m full-size partial exponentiations.  The
+        results are identical: with d = 1 (mod n) and d = 0 (mod lambda),
+        c^d = (1+n)^m r^{nd} = 1 + m*n (mod n^2) for c = (1+n)^m r^n, so
+        combining the partials yields exactly the plaintext m that
+        L(c^lambda)*mu recovers.  One Cd is counted per ciphertext either
+        way, matching Table 2's accounting.
+
+        In ``"combine"`` mode each share computes her full partial vector
+        (optionally fanned out over ``parallel_map``) and the plaintexts
+        come from :func:`combine_partial_vectors` alone.
         """
-        private = self._private_key if self.fast_decrypt else None
+        if not ciphertexts:
+            return []
+        private = self._private_key if self._decrypt_mode == "simulate" else None
         if private is None:
-            return [self.joint_decrypt(ct, signed=signed) for ct in ciphertexts]
+            vectors = [
+                _ShareValues(
+                    share.party_index,
+                    tuple(
+                        p.value
+                        for p in share.partial_decrypt_batch(
+                            ciphertexts, parallel_map
+                        )
+                    ),
+                )
+                for share in self._require_shares()
+            ]
+            return combine_partial_vectors(
+                self.public_key, vectors, self.n_parties, signed=signed
+            )
         pk = self.public_key
         results = []
         for ct in ciphertexts:
@@ -165,6 +348,16 @@ class ThresholdPaillier:
             plaintext = private.raw_decrypt(ct.raw)
             results.append(pk.to_signed(plaintext) if signed else plaintext)
         return results
+
+
+@dataclass(frozen=True)
+class _ShareValues:
+    """Minimal (party_index, values) pair for combine_partial_vectors —
+    the crypto layer's stand-in for the wire-level PartialDecryptionVector
+    (which lives in repro.network and cannot be imported from here)."""
+
+    party_index: int
+    values: tuple[int, ...]
 
 
 def generate_threshold_keypair(

@@ -62,6 +62,7 @@ __all__ = [
     "LocalView",
     "Party",
     "PartyEndpoint",
+    "PartyService",
     "PivotClassifier",
     "PivotForestClassifier",
     "PivotGBDTClassifier",
@@ -75,6 +76,7 @@ __all__ = [
 _LAZY = {
     "Party": "repro.federation.party",
     "PartyEndpoint": "repro.federation.party",
+    "PartyService": "repro.federation.party",
     "Federation": "repro.federation.federation",
     "DeployedFederation": "repro.federation.deployment",
     "PivotClassifier": "repro.federation.estimators",

@@ -19,17 +19,25 @@ What runs where:
   columns behind a strict ``LocalView``, computes her sanctioned local
   protocol steps *inside her own scope* — candidate splits (§3.4 setup),
   split-indicator vectors/matrices (§4.1/§5.2), per-sample feature slices
-  (§5.2 residual rounds), and partial decryptions with her own key share —
-  and returns only those protocol-level outputs.
+  (§5.2 residual rounds), the logistic trainer's per-epoch batch sums and
+  gradient folds (§7.3), and **her half of every threshold decryption**:
+  the c^{d_i} exponentiations with her provisioned key share run here, on
+  the real protocol path (her
+  :class:`~repro.federation.party.PartyService` answers each decrypt
+  request through the worker's ``partial_decrypt`` op).
 * **Orchestrator** (the super client's process): assembles the
   federation, runs key generation as the trusted dealer (§3.4; the
-  simulation's centralized stand-in for distributed keygen — the bundled
-  :class:`~repro.crypto.threshold.ThresholdPaillier` retains the shares
-  it dealt), executes the protocol schedule against the shared
-  :class:`~repro.network.bus.MessageBus`, and drives each remote party
-  through her command channel: every ``indicator``/``local_row`` the
-  trainer asks of a remote :class:`RemotePivotClient` executes in the
-  owning party's process.
+  simulation's centralized stand-in for distributed keygen), provisions
+  each share to its owner and then **scrubs the dealer key material**
+  (:meth:`~repro.crypto.threshold.ThresholdPaillier.scrub_dealer`): the
+  withheld private key and the remote ``d_share`` values are dropped, the
+  context's ``decrypt_mode`` is forced to ``"combine"``, and every
+  plaintext is reconstructed only from the m share vectors the decrypt
+  flow moves.  It still moves messages on the shared
+  :class:`~repro.network.bus.MessageBus` and drives each remote party
+  through her command channel, but it cannot decrypt alone — kill one
+  worker and decryption fails (``RemoteOpError``) instead of falling back
+  to a dealer key that no longer exists.
 
 Protocol payloads flow on the federation's transport exactly as in the
 single-process deployment — with ``transport="asyncio"`` (the default
@@ -58,7 +66,9 @@ from dataclasses import replace
 
 import numpy as np
 
+from repro.analysis import opcount
 from repro.core.config import PivotConfig
+from repro.core.context import PivotClient
 from repro.federation.federation import Federation, _resolve_config
 from repro.federation.locality import LocalView, as_party
 from repro.federation.party import Party
@@ -88,9 +98,14 @@ def _party_worker(conn, index: int, features: np.ndarray, strict: bool) -> None:
     Runs a command loop over the process pipe.  Every feature read happens
     through this party's own strict :class:`LocalView` inside her
     ``as_party`` scope — in this process there is nobody else's scope to
-    leak into, which is the point.
+    leak into, which is the point.  Ops that perform homomorphic work
+    (``batch_sums``, ``weight_update``) return their Ce/Cd op-count delta
+    alongside the result so the orchestrator's Table-2 tallies stay exact.
     """
     view = LocalView(features, index, name="features", strict=strict)
+    # The sanctioned local-computation surface over this party's columns;
+    # split_values stay empty (the logistic ops don't use them).
+    local_client = PivotClient(index=index, features=view, split_values=[])
     key_share = None
     split_values: list[list[float]] | None = None
 
@@ -134,11 +149,28 @@ def _party_worker(conn, index: int, features: np.ndarray, strict: bool) -> None:
             key_share = kw["key_share"]
             return None
         if op == "partial_decrypt":
+            # This party's half of a real threshold decryption: the
+            # c^{d_i} exponentiations run here, with the share only this
+            # process holds, and only the share values travel back.
             if key_share is None:
                 raise RuntimeError("no key share provisioned yet")
             return [
-                key_share.partial_decrypt(ct).value for ct in kw["ciphertexts"]
+                p.value
+                for p in key_share.partial_decrypt_batch(kw["ciphertexts"])
             ]
+        if op == "batch_sums":
+            # Logistic §7.3: per-sample encrypted partial sums over this
+            # party's own columns (the op that used to force logistic
+            # training back into a single process).
+            with opcount.counting() as ops:
+                result = local_client.batch_sums(kw["rows"], kw["weights"])
+            return {"result": result, "ops": ops}
+        if op == "weight_update":
+            with opcount.counting() as ops:
+                result = local_client.weight_update(
+                    kw["rows"], kw["weights"], kw["loss_cts"], kw["scale"]
+                )
+            return {"result": result, "ops": ops}
         raise ValueError(f"unknown party op {op!r}")
 
     while True:
@@ -282,6 +314,38 @@ class RemotePivotClient:
     def local_row(self, t: int) -> np.ndarray:
         return self.worker.request("local_row", t=t)
 
+    def decryption_shares(self, ciphertexts: list) -> list[int]:
+        """This party's half of a threshold decryption, computed in her
+        worker with the key share only that process holds.  Wired into the
+        context's :class:`~repro.federation.party.PartyService` so the
+        decrypt flow's share vectors are real remote computations."""
+        return self.worker.request("partial_decrypt", ciphertexts=ciphertexts)
+
+    def _counted(self, op: str, **kwargs):
+        """Run a homomorphic worker op and absorb its op-count delta, so
+        the orchestrator's Ce/Cd tallies match the in-memory run."""
+        reply = self.worker.request(op, **kwargs)
+        ops = reply["ops"]
+        opcount.GLOBAL.ce += ops["ce"]
+        opcount.GLOBAL.cd += ops["cd"]
+        opcount.GLOBAL.cs += ops["cs"]
+        opcount.GLOBAL.cc += ops["cc"]
+        return reply["result"]
+
+    def batch_sums(self, rows: list[int], weights: list) -> list:
+        return self._counted("batch_sums", rows=list(rows), weights=weights)
+
+    def weight_update(
+        self, rows: list[int], weights: list, loss_cts: list, scale: float
+    ) -> list:
+        return self._counted(
+            "weight_update",
+            rows=list(rows),
+            weights=weights,
+            loss_cts=loss_cts,
+            scale=scale,
+        )
+
 
 class _RemoteColumns:
     """Shape metadata of a remote party's columns; data access raises."""
@@ -386,14 +450,23 @@ class DeployedFederation(Federation):
                 remote_clients=remote_clients,
             )
             # Provision each remote party's partial key share to its owner
-            # and drop the orchestrator-side Party handle's copy.  (The
-            # dealer's bundle on the context keeps the shares it generated
-            # — centralized keygen is the simulation's §3.4 stand-in.)
+            # and drop the orchestrator-side Party handle's copy.
             for i, worker in self.workers.items():
                 worker.request(
                     "provision", key_share=self.context.threshold.shares[i]
                 )
                 parties[i].key_share = None
+            # The workers own their shares now: scrub the dealer.  The
+            # withheld private key and the remote parties' d_share values
+            # are dropped from this process (only the super client's own
+            # share stays — she *is* this process), and decrypt_mode is
+            # forced to "combine": every plaintext from here on is
+            # reconstructed from the m share vectors the decrypt flow
+            # moves, m−1 of which only the workers can produce.  The
+            # orchestrator provably cannot decrypt alone.
+            self.context.threshold.scrub_dealer(
+                keep_shares={partition.super_client}
+            )
         except BaseException:
             self._shutdown_workers()
             raise

@@ -75,10 +75,6 @@ class _FederatedEstimator:
     _task = "classification"
     _supports_dp = True
     _supports_malicious = True
-    #: Training reads whole raw column matrices (not just the sanctioned
-    #: per-party ops), so it cannot run over a per-party process
-    #: deployment, where remote columns are physically absent.
-    _needs_raw_columns = False
 
     def __init__(
         self,
@@ -190,14 +186,6 @@ class _FederatedEstimator:
             raise ValueError(
                 f"{type(self).__name__} needs a {self._task!r} federation, "
                 f"got {fed.task!r}"
-            )
-        if self._needs_raw_columns and getattr(fed, "workers", None):
-            raise NotImplementedError(
-                f"{type(self).__name__} training reads whole feature "
-                "columns (per-epoch batch sums), which a per-party process "
-                "deployment keeps in the owners' worker processes; train "
-                "over a single-process Federation (transport='asyncio' "
-                "still gives real sockets)"
             )
         # Unspecified protocol/dp inherit the federation's configuration;
         # only explicit arguments override it.
@@ -394,7 +382,6 @@ class PivotLogisticClassifier(_FederatedEstimator):
     _task = "classification"
     _supports_dp = False
     _supports_malicious = False
-    _needs_raw_columns = True  # §7.3 per-epoch batch sums over x_t
 
     def __init__(
         self,

@@ -7,6 +7,14 @@ bus.  The *super client* party additionally owns the label vector.  A
 party is constructed with raw local data and *bound* by the
 :class:`~repro.federation.federation.Federation` during assembly, which
 assigns the index, the global column ids, the key share, and the endpoint.
+
+:class:`PartyService` is the party's *reactive* protocol half: a loop over
+her endpoint that answers threshold-decryption share requests (paper §2.1
+— every one of the m clients must exponentiate with her own ``d_i`` for
+any plaintext to exist).  The per-party process deployment points the
+service's compute hook at the owning worker process, so the share
+exponentiations run under the key owner's authority, not the
+orchestrator's.
 """
 
 from __future__ import annotations
@@ -15,9 +23,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.crypto.encoding import EncryptedNumber
 from repro.federation.locality import LocalView, as_party
+from repro.network.wire import PartialDecryptionVector
 
-__all__ = ["Party", "PartyEndpoint"]
+__all__ = ["Party", "PartyEndpoint", "PartyService"]
 
 
 @dataclass
@@ -52,6 +62,88 @@ class PartyEndpoint:
         before the count is read.
         """
         return self.bus.pending(self.index)
+
+
+class PartyService:
+    """One party's reactive protocol loop: answer decrypt-share requests.
+
+    Driven through :meth:`PartyEndpoint.receive`: when a threshold
+    decryption is in flight, :meth:`answer_decrypt` pops the ciphertext
+    batch broadcast to this party, computes her decryption-share vector
+    c^{d_i} mod n², and broadcasts the vector back so every client can
+    combine.  Two ways to compute the shares:
+
+    * ``key_share`` — the party's own :class:`ThresholdKeyShare`, for
+      parties whose key material lives in this process (the super client,
+      and every party of an in-memory federation).  ``parallel_map``
+      optionally fans the full-size exponentiations out over a worker
+      pool (:meth:`repro.crypto.batch.BatchCryptoEngine._map`).
+    * ``compute_shares`` — a hook running the exponentiations elsewhere;
+      :class:`~repro.federation.deployment.DeployedFederation` points it
+      at the owning worker's ``partial_decrypt`` op, so a remote party's
+      ``d_i`` is used only inside her own process.
+
+    The orchestrator therefore stops being the sole executor of the
+    protocol schedule: it can move messages, but plaintexts only exist
+    once every party's service has answered with her real share vector.
+    """
+
+    def __init__(
+        self,
+        endpoint: PartyEndpoint,
+        key_share=None,
+        compute_shares=None,
+        parallel_map=None,
+    ):
+        if key_share is None and compute_shares is None:
+            raise ValueError(
+                "a PartyService needs a key share or a compute_shares hook"
+            )
+        self.endpoint = endpoint
+        self.index = endpoint.index
+        self._key_share = key_share
+        self._compute_shares = compute_shares
+        self._parallel_map = parallel_map
+
+    def decryption_shares(self, batch: list) -> PartialDecryptionVector:
+        """This party's share vector for a ciphertext batch (real values)."""
+        ciphertexts = [
+            c.ciphertext if isinstance(c, EncryptedNumber) else c for c in batch
+        ]
+        if self._compute_shares is not None:
+            values = tuple(int(v) for v in self._compute_shares(ciphertexts))
+            if len(values) != len(ciphertexts):
+                raise ValueError(
+                    f"party {self.index}'s compute hook returned "
+                    f"{len(values)} shares for {len(ciphertexts)} ciphertexts"
+                )
+        else:
+            values = tuple(
+                p.value
+                for p in self._key_share.partial_decrypt_batch(
+                    ciphertexts, parallel_map=self._parallel_map
+                )
+            )
+        return PartialDecryptionVector(self.index, values)
+
+    def answer_decrypt(self, tag: str, count: int) -> PartialDecryptionVector:
+        """React to one decrypt request: receive the batch, share, broadcast."""
+        batch = self.endpoint.receive(tag=tag)
+        if len(batch) != count:
+            raise ValueError(
+                f"party {self.index} received {len(batch)} ciphertexts, "
+                f"expected {count}"
+            )
+        vector = self.decryption_shares(batch)
+        self.endpoint.broadcast(vector, tag=tag)
+        return vector
+
+    def publish_shares(self, batch: list, tag: str) -> PartialDecryptionVector:
+        """The request holder's half: she already has the batch in hand —
+        compute her own share vector and broadcast it like everyone else."""
+        vector = self.decryption_shares(batch)
+        self.endpoint.broadcast(vector, tag=tag)
+        return vector
 
 
 class Party:

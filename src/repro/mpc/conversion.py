@@ -24,7 +24,7 @@ from __future__ import annotations
 import secrets
 
 from repro.crypto.encoding import EncryptedNumber
-from repro.crypto.threshold import ThresholdPaillier
+from repro.crypto.threshold import ThresholdPaillier, combine_partial_vectors
 from repro.mpc import comparison
 from repro.mpc.advanced import FixedPointOps
 from repro.mpc.sharing import SharedValue
@@ -62,6 +62,7 @@ def cipher_to_share(
     fixed: FixedPointOps,
     counters: ConversionCounters | None = None,
     bus: MessageBus | None = None,
+    services: list | None = None,
 ) -> SharedValue:
     """Algorithm 2: convert one ciphertext into a secretly shared value.
 
@@ -69,7 +70,9 @@ def cipher_to_share(
     exceed q by a multiple of q) are handled transparently: building the
     shares mod q strips the wrap before any secure truncation runs.
     """
-    return ciphers_to_shares([value], threshold, fixed, counters, bus=bus)[0]
+    return ciphers_to_shares(
+        [value], threshold, fixed, counters, bus=bus, services=services
+    )[0]
 
 
 def ciphers_to_shares(
@@ -79,11 +82,12 @@ def ciphers_to_shares(
     counters: ConversionCounters | None = None,
     batch_engine=None,
     bus: MessageBus | None = None,
+    services: list | None = None,
 ) -> list[SharedValue]:
     """Batch Algorithm 2 (the m decryption rounds are batched in practice).
 
     All values are masked first, then the masked ciphertexts go through one
-    batched threshold decryption (``joint_decrypt_batch``); a
+    batched threshold decryption; a
     :class:`~repro.crypto.batch.BatchCryptoEngine` may be supplied so the
     mask encryptions draw from its obfuscator pool.  Op counts and results
     match the value-at-a-time loop exactly.
@@ -94,7 +98,16 @@ def ciphers_to_shares(
     threshold-decryption flow (two rounds).  The seed instead broadcast
     ``ciphertext_bytes * (m−1)`` per value — which the bus fan-out
     multiplied by (m−1) *again*.
+
+    With ``services`` (the per-party
+    :class:`~repro.federation.party.PartyService` list) and
+    ``decrypt_mode="combine"``, the masked plaintexts are reconstructed
+    from the m real share vectors the flow moved — each party's c^{d_i}
+    exponentiations run under her own authority, and the conversion works
+    even after a deployment scrubbed the dealer key.
     """
+    if not values:
+        return []
     engine = fixed.engine
     q = engine.field.q
     m = threshold.n_parties
@@ -124,16 +137,31 @@ def ciphers_to_shares(
         extras.append(extra)
         for party, mask_ct in enumerate(mask_cts):
             mask_cts_by_party[party].append(mask_ct)
+    combine = (
+        bus is not None
+        and services is not None
+        and threshold.decrypt_mode == "combine"
+    )
     if bus is not None:
         # Clients 2..m send their batched mask ciphertexts to client 1
         # (Algorithm 2 lines 1-3); client 1's own masks stay local.
         for party in range(1, m):
             bus.send_payload(party, 0, mask_cts_by_party[party], tag="mpc-convert")
         bus.round()
-        record_threshold_decrypt(bus, masked_cts, tag="mpc-convert")
-    # Joint decryption of the masked values (line 5), batched (and fanned
-    # out across the engine's workers when one is supplied).
-    if batch_engine is not None:
+        if combine:
+            vectors = record_threshold_decrypt(
+                bus, masked_cts, tag="mpc-convert", services=services
+            )
+        else:
+            record_threshold_decrypt(bus, masked_cts, tag="mpc-convert")
+    # Joint decryption of the masked values (line 5): reconstructed from
+    # the m share vectors the flow moved, or — in simulate mode — batched
+    # through the engine's CRT shortcut (fanned out across its workers).
+    if combine:
+        masked_plains = combine_partial_vectors(
+            pk, vectors, m, signed=True
+        )
+    elif batch_engine is not None:
         masked_plains = batch_engine.threshold_decrypt_batch(masked_cts, signed=True)
     else:
         masked_plains = threshold.joint_decrypt_batch(masked_cts, signed=True)

@@ -17,6 +17,15 @@ explicitly.  End of training therefore implies empty inboxes
 (:meth:`MessageBus.assert_drained`), which the federation API and the
 network tests check after every run.
 
+Received payloads are *used*, not just discarded: in
+``decrypt_mode="combine"`` each party's
+:class:`~repro.federation.party.PartyService` reacts to the decrypt
+flow's ciphertext broadcast by receiving it here, exponentiating with
+her own key share, and broadcasting her real
+:class:`~repro.network.wire.PartialDecryptionVector` back — the
+plaintexts are then reconstructed from the m received vectors and from
+nothing else.
+
 This replaces the seed's accounting-only bus, whose hand-maintained
 ``n_bytes`` formulas had drifted from the protocol (an (m−1) double-count
 on Algorithm 2 conversions; threshold decryptions missing their m

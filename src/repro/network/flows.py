@@ -18,13 +18,18 @@ Per batch that moves (m−1) ciphertext-vector messages plus m·(m−1)
 partial-vector messages — the m partial-decryption shares the seed's
 ``joint_decrypt`` omitted entirely.
 
-Partial-decryption *values*: when the simulation takes the CRT fast path
-(:attr:`~repro.crypto.threshold.ThresholdPaillier.fast_decrypt`) the m
-partial exponentiations are never computed, so the flow serializes
-placeholder shares (value 0) with the correct party indices and batch
-shape.  The wire format is fixed-width, so the measured byte volume is
-identical to sending the real values; callers that did compute real
-partials can pass them via ``partials``.
+Partial-decryption *values*: with ``services`` (one
+:class:`~repro.federation.party.PartyService` per party — the
+``decrypt_mode="combine"`` data path) each party *reacts* to the
+broadcast: she receives the batch from her inbox, computes her real
+c^{d_i} share vector (locally with her key share, or inside her worker
+process in a deployment), and broadcasts it; the flow returns the m
+vectors so the caller reconstructs the plaintexts from them — and from
+nothing else.  Callers that precomputed vectors can pass them via
+``partials``.  Only the ``decrypt_mode="simulate"`` shortcut (dealer-key
+CRT decryption, single-process runs) still serializes placeholder shares
+(value 0) with the correct party indices and batch shape; the wire format
+is fixed-width, so simulate and combine runs measure identical bytes.
 """
 
 from __future__ import annotations
@@ -41,16 +46,30 @@ def record_threshold_decrypt(
     tag: str,
     holder: int = 0,
     partials: list[PartialDecryptionVector] | None = None,
-) -> None:
+    services: list | None = None,
+) -> list[PartialDecryptionVector] | None:
     """Run one batched threshold decryption as real payload sends/receives.
 
     ``ciphertexts`` is the batch being decrypted (``Ciphertext`` or
-    ``EncryptedNumber`` payloads, as held by the caller); ``partials``
-    optionally supplies the real per-party share vectors (placeholders of
-    the same wire size are synthesized otherwise).  Marks the flow's two
-    rounds (ciphertext broadcast, share broadcast).  Every receiver drains
-    and decodes her copy of each message (``MessageBus.receive``), so the
-    flow leaves all inboxes empty and any wire-format drift surfaces here.
+    ``EncryptedNumber`` payloads, as held by the caller).  Share vectors
+    come from exactly one of:
+
+    * ``services`` — the m per-party
+      :class:`~repro.federation.party.PartyService` objects.  Every party
+      other than the holder answers reactively (receives the broadcast
+      batch, computes her shares from the *received* ciphertexts,
+      broadcasts the vector); the holder computes hers from the batch in
+      hand.  Returns the m real vectors, ordered by party index.
+    * ``partials`` — precomputed per-party vectors (tests, custom flows).
+      Returned as-is after travelling the wire.
+    * neither — the simulate-mode stand-in: placeholder vectors (value 0)
+      of the same wire size travel instead, and ``None`` is returned (the
+      caller recovers plaintexts through the dealer-key shortcut).
+
+    Marks the flow's two rounds (ciphertext broadcast, share broadcast).
+    Every receiver drains and decodes her copy of each message
+    (``MessageBus.receive``), so the flow leaves all inboxes empty and any
+    wire-format drift surfaces here.
 
     The flow never assumes same-process synchrony: each ``receive`` awaits
     delivery through the transport's ``wait_pending`` seam, and the final
@@ -60,35 +79,53 @@ def record_threshold_decrypt(
     """
     count = len(ciphertexts)
     if count == 0:
-        return
+        return [] if (partials is not None or services is not None) else None
     m = bus.n_parties
+    if partials is not None and services is not None:
+        raise ValueError("pass precomputed partials or services, not both")
     if partials is not None and len(partials) != m:
         raise ValueError(
             f"expected {m} partial-share vectors, got {len(partials)}"
         )
+    if services is not None and len(services) != m:
+        raise ValueError(f"expected {m} party services, got {len(services)}")
     bus.broadcast_payload(holder, list(ciphertexts), tag=tag)
-    # Drain-based delivery: every other client *receives* the batch — the
-    # wire bytes are decoded back into ciphertext objects, so the broadcast
-    # is data flow, not just accounting.
-    for party in range(m):
-        if party == holder:
-            continue
-        received = bus.receive(party, tag=tag)
-        if len(received) != count:
-            raise ValueError(
-                f"party {party} received {len(received)} ciphertexts, "
-                f"expected {count}"
-            )
-    for party in range(m):
-        if partials is not None:
-            vector = partials[party]
-            if len(vector.values) != count:
-                raise ValueError("partial-share vector length mismatch")
-        else:
-            vector = PartialDecryptionVector(party, (0,) * count)
-        bus.broadcast_payload(party, vector, tag=tag)
+    collected: dict[int, PartialDecryptionVector] = {}
+    if services is not None:
+        # Reactive data flow: each non-holder party's service receives the
+        # batch from her own inbox, exponentiates with her d_i, and
+        # broadcasts the real share vector; the holder publishes hers from
+        # the batch in hand.
+        for party in range(m):
+            if party == holder:
+                continue
+            services[party].answer_decrypt(tag, count)
+        collected[holder] = services[holder].publish_shares(ciphertexts, tag)
+    else:
+        # Drain-based delivery: every other client *receives* the batch —
+        # the wire bytes are decoded back into ciphertext objects, so the
+        # broadcast is data flow, not just accounting.
+        for party in range(m):
+            if party == holder:
+                continue
+            received = bus.receive(party, tag=tag)
+            if len(received) != count:
+                raise ValueError(
+                    f"party {party} received {len(received)} ciphertexts, "
+                    f"expected {count}"
+                )
+        for party in range(m):
+            if partials is not None:
+                vector = partials[party]
+                if len(vector.values) != count:
+                    raise ValueError("partial-share vector length mismatch")
+                collected[vector.party_index] = vector
+            else:
+                vector = PartialDecryptionVector(party, (0,) * count)
+            bus.broadcast_payload(party, vector, tag=tag)
     # Every client receives the other m-1 partial-share vectors and checks
-    # the batch shape before combining locally.
+    # the batch shape before combining locally; the holder's received set
+    # (plus her own vector) is what the caller combines from.
     for party in range(m):
         for _ in range(m - 1):
             vector = bus.receive(party, tag=tag)
@@ -98,4 +135,14 @@ def record_threshold_decrypt(
                 raise ValueError(
                     f"party {party} received a malformed partial-share vector"
                 )
+            if party == holder:
+                collected[vector.party_index] = vector
     bus.round(2)
+    if partials is None and services is None:
+        return None
+    if sorted(collected) != list(range(m)):
+        raise ValueError(
+            f"threshold decryption needs all {m} share vectors, got parties "
+            f"{sorted(collected)}"
+        )
+    return [collected[party] for party in range(m)]

@@ -189,10 +189,32 @@ def test_from_partition_and_from_global_really_deploy(data):
         assert np.isnan(fed.parties[1]._raw_features).all()
 
 
-def test_logistic_refuses_process_deployment(data, deployed):
-    """LogisticTrainer reads whole raw columns per epoch; over a process
-    deployment those are physically absent — refuse at fit time."""
+def test_logistic_trains_over_process_deployment(data):
+    """LogisticTrainer's per-epoch batch sums and gradient folds run as
+    worker-side ops (``batch_sums`` / ``weight_update``), so logistic
+    training over a process deployment is bit-identical to in-memory —
+    including the homomorphic op counts the workers report back."""
     from repro.federation import PivotLogisticClassifier
 
-    with pytest.raises(NotImplementedError, match="worker process"):
-        PivotLogisticClassifier(n_epochs=1).fit(deployed)
+    X, y = data
+    cfg = PivotConfig(keysize=256, seed=5)
+
+    def run(federation):
+        with federation as fed:
+            clf = PivotLogisticClassifier(n_epochs=1, batch_size=8)
+            with opcount.counting() as ops:
+                clf.fit(fed)
+                probs = clf.predict_proba(X[:5])
+            fed.assert_drained()
+            bus = fed.cost_snapshot()["bus"]
+            return (
+                list(probs),
+                dict(ops),
+                bus["bytes_measured"],
+                bus["rounds"],
+                bus["by_tag"],
+            )
+
+    baseline = run(Federation(_parties(X, y), config=cfg))
+    deployed = run(DeployedFederation(_parties(X, y), config=cfg))
+    assert deployed == baseline
