@@ -1,0 +1,50 @@
+"""pivotlint: static privacy-flow analysis for the Pivot reproduction.
+
+The repo's runtime guards (``LocalView``/``as_party``/``LocalityError``;
+the dealer scrub) enforce the paper's §3.1/§4 invariants on the code paths
+a test happens to execute.  pivotlint is the static counterpart: an
+AST-based analyzer with a small dataflow/taint engine that checks *every*
+path, executed or not.
+
+Rules:
+
+====== ========================= ==========================================
+PL001  raw-read-outside-scope    raw feature/label data read outside the
+                                 owning party's scope
+PL002  secret-escape             key secrets (d_i, dealer key, primes)
+                                 reaching wire/log/repr/public-return sinks
+PL003  unregistered-payload      bus payloads that are not registered
+                                 WireCodec wire types
+PL004  dealer-use-after-scrub    dealer-key-only operations reachable from
+                                 DeployedFederation post-provisioning code
+PL005  drain-discipline          bus sends with no round()/assert_drained
+                                 barrier on some path
+====== ========================= ==========================================
+
+Run: ``python -m repro.analysis.pivotlint src/ --strict``.  See
+``src/repro/analysis/pivotlint/README.md`` for the catalogue, the
+suppression policy, and how to add a rule.
+"""
+
+from repro.analysis.pivotlint.baseline import Baseline, BaselineEntry
+from repro.analysis.pivotlint.engine import Analyzer, FileContext, Report
+from repro.analysis.pivotlint.findings import Finding
+from repro.analysis.pivotlint.rules import (
+    REGISTRY,
+    Rule,
+    register,
+    register_wire_type,
+)
+
+__all__ = [
+    "Analyzer",
+    "Baseline",
+    "BaselineEntry",
+    "FileContext",
+    "Finding",
+    "REGISTRY",
+    "Report",
+    "Rule",
+    "register",
+    "register_wire_type",
+]

@@ -1,0 +1,172 @@
+"""CLI: ``python -m repro.analysis.pivotlint src/ [--strict]``.
+
+Exit status: 0 when the tree is clean (every finding fixed, suppressed
+with a justification, or baselined with a justification); 1 when findings
+remain; 2 on usage errors.  ``--strict`` additionally fails on suppression
+and baseline hygiene (missing justifications, stale entries).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.pivotlint.baseline import Baseline, BaselineEntry
+from repro.analysis.pivotlint.engine import Analyzer, Report
+from repro.analysis.pivotlint.rules import REGISTRY
+
+DEFAULT_BASELINE = "pivotlint.baseline.json"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.pivotlint",
+        description=(
+            "pivotlint: static privacy-flow analyzer for the Pivot "
+            "reproduction — proves the locality and key-secrecy "
+            "invariants at lint time (rules PL001-PL005)"
+        ),
+    )
+    parser.add_argument("paths", nargs="*", default=["src"], help="files/directories to scan")
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail on unjustified suppressions and baseline rot",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"accepted-findings file (default: ./{DEFAULT_BASELINE} if present)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help=(
+            "write every remaining finding into the baseline file with an "
+            "empty justification (which --strict then rejects until each "
+            "entry says why it is accepted)"
+        ),
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "github"),
+        default="text",
+        help="output format (github emits workflow annotations)",
+    )
+    parser.add_argument(
+        "--summary",
+        default=None,
+        metavar="FILE",
+        help="also write a markdown job summary to FILE",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    return parser
+
+
+def _render_text(report: Report) -> str:
+    lines = []
+    for finding in report.parse_errors + report.findings:
+        lines.append(finding.render())
+    counts = report.counts_by_rule()
+    tally = ", ".join(f"{rule}: {n}" for rule, n in sorted(counts.items())) or "none"
+    lines.append(
+        f"pivotlint: {report.files_scanned} files scanned, "
+        f"{len(report.findings)} finding(s) [{tally}], "
+        f"{len(report.suppressed)} suppressed, {len(report.baselined)} baselined"
+    )
+    return "\n".join(lines)
+
+
+def _render_json(report: Report) -> str:
+    return json.dumps(
+        {
+            "files_scanned": report.files_scanned,
+            "findings": [vars(f) for f in report.parse_errors + report.findings],
+            "suppressed": len(report.suppressed),
+            "baselined": len(report.baselined),
+        },
+        indent=2,
+        default=list,
+    )
+
+
+def _render_summary(report: Report) -> str:
+    lines = [
+        "## pivotlint — static privacy-flow analysis",
+        "",
+        f"* files scanned: **{report.files_scanned}**",
+        f"* findings: **{len(report.findings)}**",
+        f"* suppressed (justified inline): {len(report.suppressed)}",
+        f"* baselined (justified in baseline file): {len(report.baselined)}",
+        "",
+    ]
+    if report.findings or report.parse_errors:
+        lines += ["| location | rule | scope | message |", "|---|---|---|---|"]
+        for f in report.parse_errors + report.findings:
+            lines.append(
+                f"| `{f.location()}` | {f.rule} | `{f.scope}` | {f.message} |"
+            )
+    else:
+        lines.append(
+            "Clean: the locality and key-secrecy invariants hold on every "
+            "static path. :white_check_mark:"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, cls in sorted(REGISTRY.items()):
+            print(f"{rule_id} {cls.name}")
+            print(f"    {cls.summary}")
+            print(f"    fix: {cls.hint}")
+        return 0
+
+    baseline_path = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE)
+    baseline = Baseline.load(baseline_path)
+    analyzer = Analyzer(baseline=baseline, strict=args.strict)
+    report = analyzer.run(args.paths)
+
+    if args.update_baseline:
+        for finding in report.findings:
+            if finding.rule == "PL000":
+                continue
+            baseline.entries.append(
+                BaselineEntry(
+                    rule=finding.rule,
+                    path=finding.path,
+                    scope=finding.scope,
+                    justification="",
+                )
+            )
+        baseline.save(baseline_path)
+        print(
+            f"pivotlint: wrote {baseline_path} with "
+            f"{len(baseline.entries)} entries — add a justification to "
+            f"each new entry (--strict rejects empty ones)"
+        )
+        return 0
+
+    if args.format == "json":
+        print(_render_json(report))
+    elif args.format == "github":
+        for finding in report.parse_errors + report.findings:
+            print(finding.render_github())
+        print(_render_text(report).splitlines()[-1])
+    else:
+        print(_render_text(report))
+
+    if args.summary:
+        Path(args.summary).write_text(_render_summary(report))
+
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

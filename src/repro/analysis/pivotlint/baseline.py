@@ -1,0 +1,99 @@
+"""The accepted-findings baseline (intended size: zero).
+
+The baseline file records findings the project has explicitly accepted —
+each entry names the rule, the file, the scope it applies to, and a
+mandatory justification.  It exists for code that is *supposed* to violate
+the invariants, such as the plaintext baselines (``repro.baselines``) whose
+entire point is to train without privacy, and the §5.1 leakage *attacks*
+that legitimately model an adversary reading colluders' columns.
+
+Entries match findings by rule id + file path + scope:
+
+* ``scope: "*"`` accepts every finding of that rule in that file (the
+  explicitly-unprotected-module form), and
+* an exact scope (function/class qualname) accepts only findings inside it.
+
+``--strict`` turns a baseline entry with a missing justification, or one
+that matches nothing in the scanned tree (stale), into a PL000 finding —
+the baseline can shrink silently but never grow or rot silently.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class BaselineEntry:
+    rule: str
+    path: str
+    scope: str = "*"
+    justification: str = ""
+    matched: int = field(default=0, compare=False)
+
+    def matches(self, rule: str, path: str, scope: str) -> bool:
+        if self.rule != rule or self.path != path:
+            return False
+        return self.scope == "*" or self.scope == scope
+
+
+@dataclass
+class Baseline:
+    entries: list[BaselineEntry] = field(default_factory=list)
+
+    def accept(self, rule: str, path: str, scope: str) -> BaselineEntry | None:
+        """The first entry accepting this finding, marked as used."""
+        for entry in self.entries:
+            if entry.matches(rule, path, scope):
+                entry.matched += 1
+                return entry
+        return None
+
+    def stale_entries(self) -> list[BaselineEntry]:
+        return [entry for entry in self.entries if entry.matched == 0]
+
+    def unjustified_entries(self) -> list[BaselineEntry]:
+        return [entry for entry in self.entries if not entry.justification.strip()]
+
+    # -- persistence -------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: Path | str) -> "Baseline":
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text())
+        if data.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} "
+                f"in {path} (expected {BASELINE_VERSION})"
+            )
+        entries = [
+            BaselineEntry(
+                rule=item["rule"],
+                path=item["path"],
+                scope=item.get("scope", "*"),
+                justification=item.get("justification", ""),
+            )
+            for item in data.get("accepted", [])
+        ]
+        return cls(entries)
+
+    def save(self, path: Path | str) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "accepted": [
+                {
+                    "rule": entry.rule,
+                    "path": entry.path,
+                    "scope": entry.scope,
+                    "justification": entry.justification,
+                }
+                for entry in self.entries
+            ],
+        }
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n")

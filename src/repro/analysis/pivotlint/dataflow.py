@@ -1,0 +1,291 @@
+"""Shared AST machinery: scopes, spans, and a small intraprocedural taint engine.
+
+Three pieces every rule builds on:
+
+* :class:`FunctionWalker` — a visitor that tracks the enclosing
+  class/function qualname and, *within* the current function, the stack of
+  active owner-scope ``with`` items (``as_party(i)`` / ``party.local()``).
+  The with-stack resets at function boundaries: a lexically enclosing scope
+  in an outer function does not guard a nested function's later execution.
+* :func:`stmt_span` / :func:`enclosing_stmt` — the statement span a
+  suppression comment may sit on.
+* :class:`TaintEngine` — forward may-taint propagation over one function
+  body.  Sources are secret-bearing names/attributes (key shares, dealer
+  keys, prime factors); assignments propagate, arithmetic propagates,
+  **modular exponentiation sanitizes** (``pow(c, d_i, n²)`` is the one-way
+  operation whose output — a decryption share — is protocol-public), and
+  constructor/method calls do not propagate (wrapping a secret in a key
+  object is containment; re-access re-taints through the attribute name).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+#: with-items recognized as "executing at party i".
+SCOPE_CALL_NAMES = frozenset({"as_party"})
+SCOPE_METHOD_NAMES = frozenset({"local"})
+
+
+@dataclass
+class PartyScope:
+    """One active owner-scope ``with`` item."""
+
+    #: ``as_party(arg)``'s argument, when that form was used.
+    arg: ast.expr | None
+    #: ``base.local()``'s base expression, when that form was used.
+    owner_base: ast.expr | None
+
+    def constant_party(self) -> int | None:
+        if (
+            self.arg is not None
+            and isinstance(self.arg, ast.Constant)
+            and isinstance(self.arg.value, int)
+        ):
+            return self.arg.value
+        return None
+
+
+def scope_of_with_item(item: ast.withitem) -> PartyScope | None:
+    """Recognize ``with as_party(i):`` and ``with party.local():`` items."""
+    call = item.context_expr
+    if not isinstance(call, ast.Call):
+        return None
+    func = call.func
+    if isinstance(func, ast.Name) and func.id in SCOPE_CALL_NAMES:
+        return PartyScope(arg=call.args[0] if call.args else None, owner_base=None)
+    if isinstance(func, ast.Attribute):
+        if func.attr in SCOPE_CALL_NAMES:
+            return PartyScope(
+                arg=call.args[0] if call.args else None, owner_base=None
+            )
+        if func.attr in SCOPE_METHOD_NAMES and not call.args:
+            return PartyScope(arg=None, owner_base=func.value)
+    return None
+
+
+def expr_fingerprint(node: ast.expr) -> str:
+    """Structural identity for "same expression" checks (owner cross-check)."""
+    return ast.dump(node, annotate_fields=False)
+
+
+class FunctionWalker(ast.NodeVisitor):
+    """Visitor with qualname + per-function owner-scope tracking.
+
+    Subclasses read :attr:`qualname`, :attr:`scopes` (active
+    :class:`PartyScope` items of the *current* function) and
+    :attr:`current_function`, and override ``visit_*`` normally — they must
+    call the ``generic_visit``/super hooks to keep the stacks correct.
+    """
+
+    def __init__(self) -> None:
+        self._name_stack: list[str] = []
+        self._scope_stacks: list[list[PartyScope]] = [[]]
+        self.current_function: ast.FunctionDef | ast.AsyncFunctionDef | None = None
+        self._function_stack: list[ast.AST] = []
+
+    # -- context -----------------------------------------------------------
+
+    @property
+    def qualname(self) -> str:
+        return ".".join(self._name_stack) if self._name_stack else "<module>"
+
+    @property
+    def scopes(self) -> list[PartyScope]:
+        return self._scope_stacks[-1]
+
+    def in_party_scope(self) -> bool:
+        return bool(self.scopes)
+
+    # -- structure ---------------------------------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._name_stack.append(node.name)
+        self.handle_class(node)
+        self.generic_visit(node)
+        self._name_stack.pop()
+
+    def _visit_function(self, node) -> None:
+        self._name_stack.append(node.name)
+        self._scope_stacks.append([])
+        self._function_stack.append(node)
+        previous = self.current_function
+        self.current_function = node
+        self.handle_function(node)
+        self.generic_visit(node)
+        self.current_function = previous
+        self._function_stack.pop()
+        self._scope_stacks.pop()
+        self._name_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_With(self, node: ast.With) -> None:
+        entered = []
+        for item in node.items:
+            scope = scope_of_with_item(item)
+            if scope is not None:
+                self.scopes.append(scope)
+                entered.append(scope)
+            self.visit(item.context_expr)
+            if item.optional_vars is not None:
+                self.visit(item.optional_vars)
+        for stmt in node.body:
+            self.visit(stmt)
+        for _ in entered:
+            self.scopes.pop()
+
+    visit_AsyncWith = visit_With
+
+    # -- subclass hooks ----------------------------------------------------
+
+    def handle_class(self, node: ast.ClassDef) -> None:
+        pass
+
+    def handle_function(self, node) -> None:
+        pass
+
+
+# ---------------------------------------------------------------------------
+# taint engine (PL002)
+# ---------------------------------------------------------------------------
+
+#: Attribute names whose *load* yields secret key material.
+SECRET_ATTRS = frozenset(
+    {
+        "d_share",
+        "private_key",
+        "_private_key",
+        "lam",
+        "mu",
+        "key_share",
+        "_key_share",
+        "shares",
+    }
+)
+
+#: Bare parameter/variable names treated as secret on first use.
+SECRET_NAMES = frozenset({"private_key", "d_share", "key_share"})
+
+#: Calls whose *result* is secret (the dealer's prime pair).
+SOURCE_CALLS = frozenset({"random_prime_pair"})
+
+#: Builtins through which taint flows unchanged.
+PROPAGATING_CALLS = frozenset({"sum", "int", "abs", "list", "tuple", "sorted"})
+
+
+class TaintEngine:
+    """May-taint analysis over one function body (two-pass fixpoint).
+
+    ``tainted`` holds local names bound to secret-derived values.  Use
+    :meth:`is_tainted` on any expression after :meth:`propagate` ran over
+    the function's statements.
+    """
+
+    def __init__(self) -> None:
+        self.tainted: set[str] = set()
+
+    # -- expression query --------------------------------------------------
+
+    def is_tainted(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Attribute):
+            if node.attr in SECRET_ATTRS:
+                return True
+            # ``a.b.d_share`` style chains: the chain is tainted if any
+            # attribute link is a secret name.
+            return self.is_tainted(node.value)
+        if isinstance(node, ast.Name):
+            return node.id in self.tainted or node.id in SECRET_NAMES
+        if isinstance(node, (ast.BinOp, ast.UnaryOp)):
+            return any(self.is_tainted(v) for v in ast.iter_child_nodes(node) if isinstance(v, ast.expr))
+        if isinstance(node, ast.BoolOp):
+            return any(self.is_tainted(v) for v in node.values)
+        if isinstance(node, ast.IfExp):
+            return self.is_tainted(node.body) or self.is_tainted(node.orelse)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            return any(self.is_tainted(v) for v in node.elts)
+        if isinstance(node, ast.Starred):
+            return self.is_tainted(node.value)
+        if isinstance(node, ast.Subscript):
+            return self.is_tainted(node.value)
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name):
+                if func.id in SOURCE_CALLS:
+                    return True
+                if func.id in PROPAGATING_CALLS:
+                    return any(self.is_tainted(a) for a in node.args)
+                # pow(c, d_i, n²) sanitizes: a modexp output is a
+                # decryption share / ciphertext, which is protocol-public.
+                return False
+            if isinstance(func, ast.Attribute) and func.attr in SOURCE_CALLS:
+                return True
+            return False
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            return self.is_tainted(node.elt) or any(
+                self.is_tainted(gen.iter) for gen in node.generators
+            )
+        if isinstance(node, ast.Compare):
+            return False  # a boolean reveals at most one bit by design
+        return False
+
+    # -- statement-level propagation --------------------------------------
+
+    def _assign(self, target: ast.expr, tainted: bool) -> None:
+        if isinstance(target, ast.Name):
+            if tainted:
+                self.tainted.add(target.id)
+            else:
+                self.tainted.discard(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._assign(elt, tainted)
+
+    def propagate(self, body: list[ast.stmt]) -> None:
+        """Two passes over the statements: loops converge for may-taint."""
+        for _ in range(2):
+            for stmt in ast.walk(ast.Module(body=body, type_ignores=[])):
+                if isinstance(stmt, ast.Assign):
+                    tainted = self.is_tainted(stmt.value)
+                    for target in stmt.targets:
+                        self._assign(target, tainted)
+                elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                    self._assign(stmt.target, self.is_tainted(stmt.value))
+                elif isinstance(stmt, ast.AugAssign):
+                    if self.is_tainted(stmt.value):
+                        self._assign(stmt.target, True)
+                elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                    if self.is_tainted(stmt.iter):
+                        self._assign(stmt.target, True)
+
+
+# ---------------------------------------------------------------------------
+# span helpers
+# ---------------------------------------------------------------------------
+
+
+def stmt_span(node: ast.AST) -> tuple[int, int]:
+    """(first, last) line of a node, for suppression matching."""
+    end = getattr(node, "end_lineno", None) or node.lineno
+    return (node.lineno, end)
+
+
+def build_parent_map(tree: ast.AST) -> dict[ast.AST, ast.AST]:
+    parents: dict[ast.AST, ast.AST] = {}
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            parents[child] = parent
+    return parents
+
+
+def enclosing_stmt(node: ast.AST, parents: dict[ast.AST, ast.AST]) -> ast.AST:
+    """The nearest enclosing statement (the line a suppression may sit on)."""
+    current = node
+    while current in parents and not isinstance(current, ast.stmt):
+        current = parents[current]
+    return current

@@ -1,0 +1,244 @@
+"""The pivotlint engine: file discovery, rule dispatch, filtering, reporting.
+
+One :class:`Analyzer` run parses every ``.py`` file under the given paths,
+hands each :class:`FileContext` to every registered rule, then filters the
+raw findings through the two acceptance layers:
+
+1. **Inline suppressions** (``# pivotlint: disable=PLxxx -- reason``): a
+   matching suppression on any line of the offending statement silences
+   the finding.  A suppression without a justification yields a PL000
+   finding instead of silence.
+2. **The baseline file**: accepted findings recorded with a justification
+   (see :mod:`repro.analysis.pivotlint.baseline`).
+
+What survives is the report.  ``--strict`` additionally fails on hygiene
+problems (unjustified suppressions, unjustified or stale baseline
+entries), so the accepted-findings surface cannot rot.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.pivotlint.baseline import Baseline
+from repro.analysis.pivotlint.dataflow import build_parent_map, enclosing_stmt
+from repro.analysis.pivotlint.findings import Finding
+from repro.analysis.pivotlint.rules import REGISTRY, Rule
+from repro.analysis.pivotlint.suppress import Suppression, parse_suppressions
+
+
+class FileContext:
+    """Everything a rule needs about one source file."""
+
+    def __init__(self, path: Path, relpath: str, source: str, tree: ast.Module):
+        self.path = path
+        self.relpath = relpath
+        self.source = source
+        self.tree = tree
+        self.lines = source.splitlines()
+        self._parents: dict[ast.AST, ast.AST] | None = None
+
+    def enclosing_stmt(self, node: ast.AST) -> ast.AST:
+        return enclosing_stmt(node, self.parents())
+
+    def parents(self) -> dict[ast.AST, ast.AST]:
+        if self._parents is None:
+            self._parents = build_parent_map(self.tree)
+        return self._parents
+
+
+@dataclass
+class Report:
+    """Outcome of one analyzer run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[tuple[Finding, Suppression]] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    parse_errors: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+    def counts_by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+
+class Analyzer:
+    """Run the registered rules over a set of paths."""
+
+    def __init__(
+        self,
+        rules: list[Rule] | None = None,
+        baseline: Baseline | None = None,
+        strict: bool = False,
+        root: Path | None = None,
+    ):
+        self.rules = rules if rules is not None else [cls() for cls in REGISTRY.values()]
+        self.baseline = baseline or Baseline()
+        self.strict = strict
+        self.root = (root or Path.cwd()).resolve()
+
+    # -- discovery ---------------------------------------------------------
+
+    def _iter_files(self, paths: list[Path]) -> list[Path]:
+        files: list[Path] = []
+        for path in paths:
+            if path.is_dir():
+                files.extend(sorted(path.rglob("*.py")))
+            elif path.suffix == ".py":
+                files.append(path)
+        seen = set()
+        unique = []
+        for f in files:
+            resolved = f.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                unique.append(f)
+        return unique
+
+    def _relpath(self, path: Path) -> str:
+        resolved = path.resolve()
+        try:
+            return resolved.relative_to(self.root).as_posix()
+        except ValueError:
+            return path.as_posix()
+
+    # -- the run -----------------------------------------------------------
+
+    def run(self, paths: list[Path | str]) -> Report:
+        report = Report()
+        for path in self._iter_files([Path(p) for p in paths]):
+            relpath = self._relpath(path)
+            try:
+                source = path.read_text()
+                tree = ast.parse(source, filename=str(path))
+            except (SyntaxError, UnicodeDecodeError) as exc:
+                report.parse_errors.append(
+                    Finding(
+                        rule="PL000",
+                        path=relpath,
+                        line=getattr(exc, "lineno", 1) or 1,
+                        col=0,
+                        message=f"cannot parse file: {exc}",
+                        hint="fix the syntax error",
+                    )
+                )
+                continue
+            report.files_scanned += 1
+            ctx = FileContext(path, relpath, source, tree)
+            suppressions = parse_suppressions(source)
+            raw = []
+            for rule in self.rules:
+                raw.extend(rule.check(ctx))
+            self._filter(report, relpath, raw, suppressions)
+        self._baseline_hygiene(report)
+        report.findings.sort(key=lambda f: (f.path, f.line, f.rule))
+        return report
+
+    def _filter(
+        self,
+        report: Report,
+        relpath: str,
+        raw: list[Finding],
+        suppressions: list[Suppression],
+    ) -> None:
+        known = set(REGISTRY) | {"PL000"}
+        for sup in suppressions:
+            for code in sup.codes:
+                if code not in known:
+                    report.findings.append(
+                        Finding(
+                            rule="PL000",
+                            path=relpath,
+                            line=sup.line,
+                            col=0,
+                            message=f"suppression names unknown rule {code!r}",
+                            hint="rule ids are PL001..PL005",
+                        )
+                    )
+            if not sup.reason:
+                report.findings.append(
+                    Finding(
+                        rule="PL000",
+                        path=relpath,
+                        line=sup.line,
+                        col=0,
+                        message=(
+                            "suppression without a justification — every "
+                            "accepted finding must say why"
+                        ),
+                        hint="append `-- <reason>` to the suppression comment",
+                    )
+                )
+
+        file_level = [s for s in suppressions if s.file_level]
+        line_level = [s for s in suppressions if not s.file_level]
+        for finding in raw:
+            handled = False
+            for sup in file_level:
+                if finding.rule in sup.codes:
+                    sup.used = True
+                    if sup.reason:
+                        report.suppressed.append((finding, sup))
+                        handled = True
+                    break
+            if handled:
+                continue
+            span = finding.span if finding.span != (0, 0) else (finding.line, finding.line)
+            for sup in line_level:
+                if finding.rule in sup.codes and any(
+                    span[0] <= line <= span[1] for line in sup.covers
+                ):
+                    sup.used = True
+                    if sup.reason:
+                        report.suppressed.append((finding, sup))
+                        handled = True
+                    break
+            if handled:
+                continue
+            entry = self.baseline.accept(finding.rule, finding.path, finding.scope)
+            if entry is not None and entry.justification.strip():
+                report.baselined.append(finding)
+                continue
+            report.findings.append(finding)
+
+    def _baseline_hygiene(self, report: Report) -> None:
+        if not self.strict:
+            return
+        for entry in self.baseline.unjustified_entries():
+            report.findings.append(
+                Finding(
+                    rule="PL000",
+                    path=entry.path,
+                    line=1,
+                    col=0,
+                    message=(
+                        f"baseline entry for {entry.rule} (scope "
+                        f"{entry.scope!r}) has no justification"
+                    ),
+                    hint="every accepted finding must say why",
+                )
+            )
+        for entry in self.baseline.stale_entries():
+            if not entry.justification.strip():
+                continue  # already reported above
+            report.findings.append(
+                Finding(
+                    rule="PL000",
+                    path=entry.path,
+                    line=1,
+                    col=0,
+                    message=(
+                        f"stale baseline entry: no {entry.rule} finding in "
+                        f"{entry.path} (scope {entry.scope!r}) matches it"
+                    ),
+                    hint="delete the entry — the accepted finding is gone",
+                )
+            )

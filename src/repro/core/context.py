@@ -222,6 +222,9 @@ class PivotContext:
                 # object proxies the sanctioned local computations there.
                 self.clients.append(remote_clients[i])
                 continue
+            # pivotlint: disable=PL001 -- assembly: wrapping party i's block
+            # in its LocalView guard is the act that *creates* the scope
+            # regime; no data is computed on here.
             view = LocalView(
                 partition.local_features[i],
                 i,

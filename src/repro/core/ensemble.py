@@ -282,9 +282,8 @@ class GBDTTrainer:
                     ctx, normalized, "regression"
                 )
             else:
-                residual = [
-                    y - est for y, est in zip(label_cts, estimate)  # type: ignore[arg-type]
-                ]
+                assert estimate is not None, "round 0 always seeds the estimate"
+                residual = [y - est for y, est in zip(label_cts, estimate)]
                 gamma2 = self._encrypted_squares(residual)
                 provider = EncryptedLabelProvider(
                     ctx, residual, gamma2, label_scale=1.0
@@ -330,7 +329,8 @@ class GBDTTrainer:
                     provider.label_scale = 1.0  # residuals stay in score units
                     provider.betas = [residual_plain[:, k], residual_plain[:, k] ** 2]
                 else:
-                    res_k = residual_cts[k]  # type: ignore[index]
+                    assert residual_cts is not None, "set at the end of round 0"
+                    res_k = residual_cts[k]
                     provider = EncryptedLabelProvider(
                         ctx, res_k, self._encrypted_squares(res_k), label_scale=1.0
                     )

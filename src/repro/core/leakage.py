@@ -30,6 +30,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.data.partition import VerticalPartition
+from repro.federation.locality import as_party
 from repro.tree.model import DecisionTreeModel, TreeNode
 
 __all__ = [
@@ -76,7 +77,10 @@ def _path_sample_sets(
             return
         if node.owner not in colluding or node.threshold is None:
             return  # this subtree's partitions are not computable
-        column = partition.local_features[node.owner][:, node.feature]
+        with as_party(node.owner):
+            # A colluding client reading its own column: legitimate by the
+            # guard above (node.owner is in the collusion).
+            column = partition.local_features[node.owner][:, node.feature]
         left = mask & (column <= node.threshold)
         visit(node.left, left, path + [(node, 0)])
         visit(node.right, mask & ~(column <= node.threshold), path + [(node, 1)])
@@ -105,6 +109,9 @@ def label_inference_attack(
             inferred.setdefault(int(sample), node.prediction)
     labels = partition.labels
     n_correct = sum(
+        # pivotlint: disable=PL001 -- ground-truth labels score the attack's
+        # yield; the adversary (which excludes the super client) never sees
+        # them. This is the evaluation harness, not the attack.
         1 for sample, guess in inferred.items() if guess == labels[sample]
     )
     return AttackResult(
@@ -130,7 +137,9 @@ def feature_inference_attack(
         )
     if target_client in colluding:
         raise ValueError("the target must be an honest client")
-    labels = partition.labels
+    with as_party(partition.super_client):
+        # The collusion includes the super client, who owns the labels.
+        labels = np.asarray(partition.labels)
     n = partition.n_samples
     target_nodes = [
         node
@@ -159,6 +168,8 @@ def feature_inference_attack(
                 continue
             n_targets += 1
             if node.threshold is not None:
+                # pivotlint: disable=PL001 -- the honest target's true column
+                # only scores the inference; the adversary never reads it.
                 column = partition.local_features[target_client][:, node.feature]
                 truly_left = column[sample] <= node.threshold
             else:

@@ -42,6 +42,7 @@ from __future__ import annotations
 import weakref
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, Any, Callable, Iterable
 
 from repro.analysis import opcount
 from repro.crypto.encoding import (
@@ -51,7 +52,17 @@ from repro.crypto.encoding import (
 )
 from repro.crypto.paillier import Ciphertext, PaillierPrivateKey, PaillierPublicKey
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.crypto.threshold import (
+        PartialDecryption,
+        ThresholdKeyShare,
+        ThresholdPaillier,
+    )
+
 __all__ = ["ObfuscatorPool", "BatchCryptoEngine"]
+
+#: ``parallel_map(fn, items)``: the fan-out strategy plugged into the pool.
+ParallelMap = Callable[[Callable[[Any], Any], list[Any]], list[Any]]
 
 #: Below this batch size the process-pool dispatch overhead outweighs the
 #: parallel speedup; such batches always run serially.
@@ -82,7 +93,7 @@ class ObfuscatorPool:
         self,
         public_key: PaillierPublicKey,
         size: int = 256,
-        parallel_map=None,
+        parallel_map: ParallelMap | None = None,
     ):
         if size < 0:
             raise ValueError(f"pool size must be >= 0, got {size}")
@@ -139,7 +150,7 @@ class BatchCryptoEngine:
         workers: int = 0,
         pool_size: int = 256,
         encoder: PaillierEncoder | None = None,
-        threshold=None,
+        threshold: "ThresholdPaillier | None" = None,
     ):
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
@@ -153,7 +164,7 @@ class BatchCryptoEngine:
 
     # -- parallel plumbing ------------------------------------------------
 
-    def _map(self, fn, items: list) -> list:
+    def _map(self, fn: Callable[[Any], Any], items: list[Any]) -> list[Any]:
         """Map ``fn`` over ``items``, fanning out to worker processes when
         configured and the batch is large enough to pay for dispatch."""
         if self.workers <= 1 or len(items) < MIN_PARALLEL_BATCH:
@@ -179,7 +190,7 @@ class BatchCryptoEngine:
     def __enter__(self) -> "BatchCryptoEngine":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # -- encryption -------------------------------------------------------
@@ -266,7 +277,9 @@ class BatchCryptoEngine:
         plains = self._map(private.raw_decrypt, [ct.raw for ct in ciphertexts])
         return [pk.to_signed(m) if signed else m for m in plains]
 
-    def partial_decrypt_batch(self, key_share, ciphertexts: list[Ciphertext]):
+    def partial_decrypt_batch(
+        self, key_share: "ThresholdKeyShare", ciphertexts: list[Ciphertext]
+    ) -> "list[PartialDecryption]":
         """One party's decryption-share vector, exponentiations fanned out.
 
         The serial hot loop of
@@ -391,7 +404,7 @@ class BatchCryptoEngine:
         ]
 
     def mask_vector(
-        self, values: list[EncryptedNumber], bits
+        self, values: list[EncryptedNumber], bits: Iterable[int]
     ) -> list[EncryptedNumber]:
         """[v] ∘ plaintext 0/1 vector, re-randomised for broadcast (§4.1
         model update): zeroed slots become fresh encryptions of 0, kept

@@ -24,7 +24,7 @@ re-randomised before leaving a party.
 from __future__ import annotations
 
 import secrets
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import cached_property
 
 from repro.analysis import opcount
@@ -114,8 +114,8 @@ class PaillierPublicKey:
 class _CrtParams:
     """Precomputed constants for CRT decryption mod p^2 / q^2."""
 
-    p: int
-    q: int
+    p: int = field(repr=False)
+    q: int = field(repr=False)
     p_squared: int
     q_squared: int
     hp: int  # L_p(g^{p-1} mod p^2)^-1 mod p
@@ -135,10 +135,10 @@ class PaillierPrivateKey:
     """
 
     public_key: PaillierPublicKey
-    lam: int  # lambda(n) = lcm(p-1, q-1)
-    mu: int  # (L(g^lambda mod n^2))^-1 mod n
-    p: int | None = None
-    q: int | None = None
+    lam: int = field(repr=False)  # lambda(n) = lcm(p-1, q-1)
+    mu: int = field(repr=False)  # (L(g^lambda mod n^2))^-1 mod n
+    p: int | None = field(default=None, repr=False)
+    q: int | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if (self.p is None) != (self.q is None):
@@ -180,6 +180,9 @@ class PaillierPrivateKey:
         pk = self.public_key
         u = pow(raw_ciphertext, self.lam, pk.n_squared)
         l_of_u = (u - 1) // pk.n
+        # pivotlint: disable=PL002 -- L(c^lambda) * mu mod n IS the decrypted
+        # plaintext, the function's contract; the key material itself (lam,
+        # mu) is not recoverable from it.
         return (l_of_u * self.mu) % pk.n
 
     def decrypt(self, ciphertext: "Ciphertext") -> int:

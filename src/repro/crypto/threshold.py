@@ -39,7 +39,8 @@ from __future__ import annotations
 
 import os
 import secrets
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Any, Callable
 
 from repro.analysis import opcount
 from repro.crypto import primes
@@ -82,7 +83,7 @@ def decrypt_mode_default() -> str | None:
     return None
 
 
-def _serial_map(fn, items):
+def _serial_map(fn: Callable[[Any], Any], items: list[Any]) -> list[Any]:
     return [fn(item) for item in items]
 
 
@@ -106,7 +107,7 @@ class ThresholdKeyShare:
 
     public_key: PaillierPublicKey
     party_index: int
-    d_share: int
+    d_share: int = field(repr=False)
 
     def partial_decrypt(self, ciphertext: Ciphertext) -> PartialDecryption:
         if ciphertext.public_key != self.public_key:
@@ -117,7 +118,9 @@ class ThresholdKeyShare:
         )
 
     def partial_decrypt_batch(
-        self, ciphertexts: list[Ciphertext], parallel_map=None
+        self,
+        ciphertexts: list[Ciphertext],
+        parallel_map: Callable[..., list[Any]] | None = None,
     ) -> list[PartialDecryption]:
         """Partial decryption of a whole batch (one message in a deployment:
         the paper's protocols always decrypt vectors of statistics).
@@ -303,7 +306,7 @@ class ThresholdPaillier:
         self,
         ciphertexts: list[Ciphertext],
         signed: bool = True,
-        parallel_map=None,
+        parallel_map: Callable[..., list[Any]] | None = None,
     ) -> list[int]:
         """Threshold-decrypt a batch of ciphertexts (the hot path).
 

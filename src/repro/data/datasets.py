@@ -17,6 +17,10 @@ the same arrays.
 
 from __future__ import annotations
 
+# pivotlint: disable-file=PL001 -- Dataset is the centralized pre-federation
+# container (loader output): the party boundary does not exist until
+# VerticalPartition splits its columns, so there is no owner scope to hold.
+
 from dataclasses import dataclass
 
 import numpy as np

@@ -414,6 +414,9 @@ class DeployedFederation(Federation):
         masked: list[np.ndarray] = []
         try:
             for i, party in enumerate(parties):
+                # pivotlint: disable=PL001 -- provisioning: handing party i's
+                # own block to party i's worker process (then poisoning the
+                # orchestrator copy below); nothing is computed on it here.
                 block = partition.local_features[i]
                 if i == partition.super_client:
                     masked.append(block)
@@ -452,6 +455,10 @@ class DeployedFederation(Federation):
             # Provision each remote party's partial key share to its owner
             # and drop the orchestrator-side Party handle's copy.
             for i, worker in self.workers.items():
+                # pivotlint: disable=PL002 -- sanctioned key distribution:
+                # the dealer hands share i to its owner over the private
+                # process pipe (not the party-visible bus), then scrubs
+                # every orchestrator-side copy below.
                 worker.request(
                     "provision", key_share=self.context.threshold.shares[i]
                 )

@@ -122,6 +122,9 @@ class Federation:
         return VerticalPartition(
             columns_per_client=tuple(columns),
             local_features=tuple(p._raw_features for p in parties),
+            # pivotlint: disable=PL001 -- assembly: re-wrapping the super
+            # client's own label array into the partition; the guarded views
+            # over this data are constructed from it one step later.
             labels=np.asarray(parties[super_client]._raw_labels),
             super_client=super_client,
             task=task,

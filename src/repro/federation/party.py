@@ -44,10 +44,15 @@ class PartyEndpoint:
 
     def send(self, receiver: int, payload, tag: str = "") -> int:
         """Serialize and route ``payload`` to ``receiver``; returns bytes."""
+        # pivotlint: disable=PL005 -- single-party transport primitive: the
+        # round barrier belongs to the protocol flow driving all m parties
+        # (flows.py / the reactive services), not to one party's send.
         return self.bus.send_payload(self.index, receiver, payload, tag=tag)
 
     def broadcast(self, payload, tag: str = "") -> int:
         """Send ``payload`` to every other party; returns per-receiver bytes."""
+        # pivotlint: disable=PL005 -- single-party transport primitive: the
+        # caller's protocol flow owns the round barrier (see send above).
         return self.bus.broadcast_payload(self.index, payload, tag=tag)
 
     def receive(self, tag: str | None = None):

@@ -53,6 +53,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
+from typing import Any
 
 from repro.network.transport import Envelope, InMemoryTransport, Transport
 from repro.network.wire import WireCodec
@@ -117,14 +118,16 @@ class MessageBus:
 
     # -- payload API (measured sizes) ----------------------------------------
 
-    def _serialize(self, payload) -> tuple[bytes, int]:
+    def _serialize(self, payload: object) -> tuple[bytes, int]:
         if self.codec is None:
             raise ValueError(
                 "bus was built without a WireCodec; payload sends need one"
             )
         return self.codec.serialize(payload), self.codec.estimate(payload)
 
-    def send_payload(self, sender: int, receiver: int, payload, tag: str = "") -> int:
+    def send_payload(
+        self, sender: int, receiver: int, payload: object, tag: str = ""
+    ) -> int:
         """Serialize ``payload``, route it to ``receiver``, record its size.
 
         Returns the measured byte size of the serialized message.
@@ -143,7 +146,7 @@ class MessageBus:
             self.by_tag[tag] += len(data)
         return len(data)
 
-    def broadcast_payload(self, sender: int, payload, tag: str = "") -> int:
+    def broadcast_payload(self, sender: int, payload: object, tag: str = "") -> int:
         """One party sends the same serialized payload to every other party.
 
         The payload is serialized once and the bytes are delivered to all
@@ -167,7 +170,7 @@ class MessageBus:
 
     # -- drain-based receiving ----------------------------------------------
 
-    def receive(self, party: int, tag: str | None = None):
+    def receive(self, party: int, tag: str | None = None) -> Any:
         """Pop ``party``'s oldest pending message and decode it.
 
         The receiving half of the payload API: the wire bytes routed by

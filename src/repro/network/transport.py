@@ -41,6 +41,7 @@ import struct
 import threading
 from collections import deque
 from dataclasses import dataclass
+from typing import Any, Callable, Coroutine
 
 __all__ = [
     "Envelope",
@@ -54,7 +55,7 @@ __all__ = [
 ]
 
 
-def make_transport(spec, n_parties: int) -> "Transport":
+def make_transport(spec: "Transport | str | None", n_parties: int) -> "Transport":
     """Resolve a transport spec: None/name/instance → :class:`Transport`.
 
     ``None`` and ``"inmemory"`` build the synchronous default;
@@ -307,7 +308,7 @@ class AsyncioTransport(Transport):
         asyncio.set_event_loop(self._loop)
         self._loop.run_forever()
 
-    def _call(self, coroutine):
+    def _call(self, coroutine: Coroutine[Any, Any, Any]) -> Any:
         """Run a coroutine on the transport loop, blocking the caller."""
         future = asyncio.run_coroutine_threadsafe(coroutine, self._loop)
         return future.result(self.timeout)
@@ -322,8 +323,14 @@ class AsyncioTransport(Transport):
             ports.append(server.sockets[0].getsockname()[1])
         return tuple(ports)
 
-    def _make_handler(self, party: int):
-        async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+    def _make_handler(
+        self, party: int
+    ) -> Callable[
+        [asyncio.StreamReader, asyncio.StreamWriter], Coroutine[Any, Any, None]
+    ]:
+        async def handle(
+            reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        ) -> None:
             try:
                 while True:
                     prefix = await reader.readexactly(_LENGTH.size)

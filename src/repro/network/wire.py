@@ -37,6 +37,7 @@ the end-to-end reconciliation test on real training runs).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from repro.crypto.encoding import EncryptedNumber, PaillierEncoder
 from repro.crypto.paillier import Ciphertext, PaillierPublicKey
@@ -125,7 +126,7 @@ class WireCodec:
 
     # -- sizes (the corrected byte formulas) -------------------------------
 
-    def estimate(self, payload) -> int:
+    def estimate(self, payload: object) -> int:
         """Exact serialized size, computed without serializing."""
         w = self.ciphertext_width
         if isinstance(payload, Ciphertext):
@@ -146,12 +147,12 @@ class WireCodec:
 
     # -- serialization -----------------------------------------------------
 
-    def serialize(self, payload) -> bytes:
+    def serialize(self, payload: object) -> bytes:
         out = bytearray()
         self._write(out, payload)
         return bytes(out)
 
-    def _write(self, out: bytearray, payload) -> None:
+    def _write(self, out: bytearray, payload: object) -> None:
         w = self.ciphertext_width
         if isinstance(payload, Ciphertext):
             if payload.public_key != self.public_key:
@@ -196,7 +197,7 @@ class WireCodec:
 
     # -- deserialization ---------------------------------------------------
 
-    def deserialize(self, data: bytes):
+    def deserialize(self, data: bytes) -> Any:
         payload, offset = self._read(memoryview(data), 0)
         if offset != len(data):
             raise WireFormatError(
@@ -204,7 +205,7 @@ class WireCodec:
             )
         return payload
 
-    def _read(self, view: memoryview, offset: int):
+    def _read(self, view: memoryview, offset: int) -> tuple[Any, int]:
         tag = self._take_int(view, offset, TAG_BYTES)
         offset += TAG_BYTES
         w = self.ciphertext_width

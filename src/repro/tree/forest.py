@@ -68,12 +68,12 @@ class RandomForest:
         self.models = []
         for mask in masks:
             tree = DecisionTree(self.task, self.params)
-            tree.fit(
+            model = tree.fit(
                 features[mask],
                 labels[mask],
                 n_classes=self.n_classes if self.task == "classification" else None,
             )
-            self.models.append(tree.model)  # type: ignore[arg-type]
+            self.models.append(model)
         return self
 
     def predict(self, rows: np.ndarray) -> np.ndarray:

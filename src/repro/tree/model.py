@@ -14,9 +14,10 @@ vector z = (z_1, ..., z_{t+1})" of the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Any, Iterator
 
 import numpy as np
+import numpy.typing as npt
 
 __all__ = ["TreeNode", "DecisionTreeModel"]
 
@@ -46,19 +47,27 @@ class TreeNode:
     prediction: float | int | None = None
     # opaque payloads used by the enhanced protocol (encrypted threshold /
     # shared leaf label); never interpreted by this module.
-    hidden: dict = field(default_factory=dict)
+    hidden: dict[str, Any] = field(default_factory=dict)
 
     def children(self) -> tuple["TreeNode", "TreeNode"]:
+        """The narrowed (left, right) pair of an internal node.
+
+        The one place the ``TreeNode | None`` child fields narrow to
+        ``TreeNode``: every traversal goes through here, so a malformed
+        tree fails with this error instead of an ``AttributeError`` deep
+        in a visitor.
+        """
         if self.is_leaf:
             raise ValueError("leaf nodes have no children")
-        assert self.left is not None and self.right is not None
+        if self.left is None or self.right is None:
+            raise ValueError("internal node is missing a child subtree")
         return self.left, self.right
 
 
 class DecisionTreeModel:
     """A trained binary tree plus metadata, with traversal utilities."""
 
-    def __init__(self, root: TreeNode, task: str, n_classes: int = 0):
+    def __init__(self, root: TreeNode, task: str, n_classes: int = 0) -> None:
         if task not in ("classification", "regression"):
             raise ValueError(f"unknown task {task!r}")
         if task == "classification" and n_classes < 2:
@@ -76,8 +85,9 @@ class DecisionTreeModel:
             node = stack.pop()
             yield node
             if not node.is_leaf:
-                stack.append(node.right)  # type: ignore[arg-type]
-                stack.append(node.left)  # type: ignore[arg-type]
+                left, right = node.children()
+                stack.append(right)
+                stack.append(left)
 
     def internal_nodes(self) -> list[TreeNode]:
         return [n for n in self.iter_nodes() if not n.is_leaf]
@@ -90,8 +100,9 @@ class DecisionTreeModel:
             if node.is_leaf:
                 ordered.append(node)
             else:
-                visit(node.left)  # type: ignore[arg-type]
-                visit(node.right)  # type: ignore[arg-type]
+                left, right = node.children()
+                visit(left)
+                visit(right)
 
         visit(self.root)
         return ordered
@@ -122,15 +133,16 @@ class DecisionTreeModel:
             if node.is_leaf:
                 paths.append(list(path))
                 return
-            visit(node.left, path + [(node, 0)])  # type: ignore[arg-type]
-            visit(node.right, path + [(node, 1)])  # type: ignore[arg-type]
+            left, right = node.children()
+            visit(left, path + [(node, 0)])
+            visit(right, path + [(node, 1)])
 
         visit(self.root, [])
         return paths
 
     # -- centralized prediction -------------------------------------------------
 
-    def predict_row(self, row: np.ndarray) -> float | int:
+    def predict_row(self, row: npt.NDArray[np.float64]) -> float | int:
         """Standard top-down prediction (centralized / plaintext models).
 
         Federated trees index ``row`` by the node's global column id;
@@ -144,14 +156,17 @@ class DecisionTreeModel:
                     "protocol instead"
                 )
             column = node.feature if node.global_feature is None else node.global_feature
-            node = node.left if row[column] <= node.threshold else node.right
+            left, right = node.children()
+            node = left if row[column] <= node.threshold else right
         if node.prediction is None:
             raise ValueError("model has hidden leaf labels")
         return node.prediction
 
-    def predict(self, rows: np.ndarray) -> np.ndarray:
-        rows = np.asarray(rows, dtype=np.float64)
-        out = [self.predict_row(row) for row in rows]
+    def predict(
+        self, rows: npt.ArrayLike
+    ) -> npt.NDArray[np.int64] | npt.NDArray[np.float64]:
+        matrix = np.asarray(rows, dtype=np.float64)
+        out = [self.predict_row(row) for row in matrix]
         if self.task == "classification":
             return np.asarray(out, dtype=np.int64)
         return np.asarray(out, dtype=np.float64)
@@ -170,25 +185,27 @@ class DecisionTreeModel:
             owner = f"client {node.owner}, " if node.owner >= 0 else ""
             thr = "<hidden>" if node.threshold is None else f"{node.threshold:.4g}"
             lines.append(f"{indent}[{owner}feature {node.feature} <= {thr}]")
-            visit(node.left, indent + "  ")  # type: ignore[arg-type]
-            visit(node.right, indent + "  ")  # type: ignore[arg-type]
+            left, right = node.children()
+            visit(left, indent + "  ")
+            visit(right, indent + "  ")
 
         visit(self.root, "")
         return "\n".join(lines)
 
-    def structure_signature(self) -> tuple:
+    def structure_signature(self) -> tuple[object, ...]:
         """Hashable structure fingerprint used by equivalence tests."""
 
-        def sig(node: TreeNode) -> tuple:
+        def sig(node: TreeNode) -> tuple[object, ...]:
             if node.is_leaf:
                 return ("leaf", node.prediction)
+            left, right = node.children()
             return (
                 "node",
                 node.owner,
                 node.feature,
                 None if node.threshold is None else round(node.threshold, 9),
-                sig(node.left),  # type: ignore[arg-type]
-                sig(node.right),  # type: ignore[arg-type]
+                sig(left),
+                sig(right),
             )
 
         return sig(self.root)

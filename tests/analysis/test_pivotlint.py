@@ -1,0 +1,541 @@
+"""pivotlint: per-rule true-positive/true-negative fixtures, suppression
+handling, baseline round-trips, and the meta-test that keeps src/repro/
+clean.
+
+Every positive fixture is a violation the *runtime* suite cannot catch —
+the offending path is never executed here, only parsed — which is the
+point of having a static analyzer at all.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.pivotlint import (
+    Analyzer,
+    Baseline,
+    BaselineEntry,
+    register_wire_type,
+)
+from repro.analysis.pivotlint.__main__ import main as pivotlint_main
+from repro.analysis.pivotlint.rules import WIRE_TYPES
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def lint(
+    tmp_path: Path,
+    source: str,
+    baseline: Baseline | None = None,
+    strict: bool = False,
+    filename: str = "sample.py",
+):
+    """Run the analyzer over one fixture file; returns the Report."""
+    target = tmp_path / filename
+    target.write_text(textwrap.dedent(source))
+    analyzer = Analyzer(baseline=baseline, strict=strict, root=tmp_path)
+    return analyzer.run([target])
+
+
+def rules_found(report) -> list[str]:
+    return [f.rule for f in report.findings]
+
+
+# ---------------------------------------------------------------------------
+# PL001 — raw-read-outside-scope
+# ---------------------------------------------------------------------------
+
+
+def test_pl001_flags_unscoped_raw_read(tmp_path):
+    report = lint(
+        tmp_path,
+        """
+        def peek(partition):
+            return partition.local_features[0][:, 2]
+        """,
+    )
+    assert rules_found(report) == ["PL001"]
+    (finding,) = report.findings
+    assert finding.scope == "peek"
+    assert "local_features" in finding.message
+
+
+def test_pl001_flags_cross_party_scope_mismatch(tmp_path):
+    report = lint(
+        tmp_path,
+        """
+        from repro.federation.locality import as_party
+
+        def cross(partition):
+            with as_party(1):
+                return partition.local_features[0][:, 0]
+        """,
+    )
+    assert rules_found(report) == ["PL001"]
+    assert "cross-party scope mismatch" in report.findings[0].message
+
+
+def test_pl001_flags_alias_read(tmp_path):
+    # The read happens through a local alias; line-grep linters miss it.
+    report = lint(
+        tmp_path,
+        """
+        def alias(partition):
+            labels = partition.labels
+            return labels[3]
+        """,
+    )
+    assert rules_found(report) == ["PL001"]
+
+
+def test_pl001_accepts_scoped_reads_and_metadata(tmp_path):
+    report = lint(
+        tmp_path,
+        """
+        from repro.federation.locality import as_party
+
+        def scoped(partition, client):
+            n = partition.local_features[0].shape[0]  # metadata only
+            with as_party(0):
+                block = partition.local_features[0][:, 1]
+            with client.local():
+                local = client.features.read()
+            return n, block, local
+        """,
+    )
+    assert report.findings == []
+
+
+def test_pl001_mismatched_local_scope(tmp_path):
+    report = lint(
+        tmp_path,
+        """
+        def wrong(a, b):
+            with a.local():
+                return b.features.read()
+        """,
+    )
+    assert rules_found(report) == ["PL001"]
+
+
+# ---------------------------------------------------------------------------
+# PL002 — secret-escape
+# ---------------------------------------------------------------------------
+
+
+def test_pl002_flags_secret_on_the_wire(tmp_path):
+    report = lint(
+        tmp_path,
+        """
+        def leak_share(bus, key_share):
+            bus.send_payload(0, 1, key_share.d_share, tag="oops")
+            bus.round(1)
+        """,
+    )
+    assert rules_found(report) == ["PL002"]
+
+
+def test_pl002_flags_secret_in_log_and_fstring(tmp_path):
+    report = lint(
+        tmp_path,
+        """
+        def chatty(logger, private_key):
+            logger.info(private_key)
+            raise ValueError(f"bad key {private_key}")
+        """,
+    )
+    assert rules_found(report).count("PL002") == 2
+
+
+def test_pl002_flags_secret_dataclass_repr(tmp_path):
+    report = lint(
+        tmp_path,
+        """
+        from dataclasses import dataclass
+
+        @dataclass
+        class Share:
+            party_index: int
+            d_share: int
+        """,
+    )
+    assert rules_found(report) == ["PL002"]
+    assert "__repr__" in report.findings[0].message
+
+
+def test_pl002_accepts_repr_false_and_modexp(tmp_path):
+    # pow() is the sanitizer: a decryption share c^{d_i} is protocol-public.
+    report = lint(
+        tmp_path,
+        """
+        from dataclasses import dataclass, field
+
+        @dataclass
+        class Share:
+            party_index: int
+            d_share: int = field(repr=False)
+
+            def answer(self, bus, raw, n_squared):
+                bus.send_payload(0, 1, pow(raw, self.d_share, n_squared))
+                bus.round(1)
+        """,
+    )
+    assert report.findings == []
+
+
+def test_pl002_flags_public_return_of_secret_derivation(tmp_path):
+    report = lint(
+        tmp_path,
+        """
+        def derive(private_key):
+            weak = private_key % 1000
+            return weak
+        """,
+    )
+    assert rules_found(report) == ["PL002"]
+
+
+# ---------------------------------------------------------------------------
+# PL003 — unregistered-payload
+# ---------------------------------------------------------------------------
+
+
+def test_pl003_flags_adhoc_payloads(tmp_path):
+    report = lint(
+        tmp_path,
+        """
+        def chatter(bus, n):
+            bus.send_payload(0, 1, {"stats": 3}, tag="a")
+            bus.broadcast_payload(0, f"round {n}", tag="b")
+            bus.round(1)
+        """,
+    )
+    assert rules_found(report) == ["PL003", "PL003"]
+
+
+def test_pl003_tracks_assigned_payloads(tmp_path):
+    report = lint(
+        tmp_path,
+        """
+        def indirect(bus):
+            payload = {"k": 1}
+            bus.send_payload(0, 1, payload, tag="t")
+            bus.round(1)
+        """,
+    )
+    assert rules_found(report) == ["PL003"]
+
+
+def test_pl003_accepts_registered_wire_types(tmp_path):
+    report = lint(
+        tmp_path,
+        """
+        def fine(bus, pk, raw, shares):
+            bus.send_payload(0, 1, Ciphertext(pk, raw), tag="ct")
+            bus.broadcast_payload(0, [Ciphertext(pk, r) for r in raw], tag="v")
+            bus.send_payload(0, 1, ShareVector(shares), tag="sv")
+            bus.round(1)
+        """,
+    )
+    assert report.findings == []
+
+
+def test_pl003_registry_is_extensible(tmp_path):
+    source = """
+    def custom(bus, x):
+        bus.send_payload(0, 1, EncryptedHistogram(x), tag="h")
+        bus.round(1)
+    """
+    assert rules_found(lint(tmp_path, source)) == ["PL003"]
+    register_wire_type("EncryptedHistogram")
+    try:
+        assert lint(tmp_path, source).findings == []
+    finally:
+        WIRE_TYPES.discard("EncryptedHistogram")
+
+
+# ---------------------------------------------------------------------------
+# PL004 — dealer-use-after-scrub
+# ---------------------------------------------------------------------------
+
+
+def test_pl004_flags_dealer_key_use_post_provisioning(tmp_path):
+    report = lint(
+        tmp_path,
+        """
+        class Broken(DeployedFederation):
+            def fit(self, ciphertext):
+                return self.context.threshold._private_key.decrypt(ciphertext)
+        """,
+    )
+    assert "PL004" in rules_found(report)
+
+
+def test_pl004_flags_reenabling_simulate_mode(tmp_path):
+    report = lint(
+        tmp_path,
+        """
+        class Sneaky(DeployedFederation):
+            def speed_up(self):
+                self.context.decrypt_mode = "simulate"
+        """,
+    )
+    assert rules_found(report) == ["PL004"]
+
+
+def test_pl004_accepts_pre_scrub_provisioning(tmp_path):
+    report = lint(
+        tmp_path,
+        """
+        class Fine(DeployedFederation):
+            def __init__(self, shares):
+                self.stash = shares
+
+            def fit(self, ctx):
+                return ctx.joint_decrypt_vector([1])
+        """,
+    )
+    assert report.findings == []
+
+
+def test_pl004_ignores_non_deployed_classes(tmp_path):
+    report = lint(
+        tmp_path,
+        """
+        class Dealer:
+            def simulate(self, ciphertext):
+                return self._private_key.decrypt(ciphertext)
+        """,
+    )
+    assert report.findings == []
+
+
+# ---------------------------------------------------------------------------
+# PL005 — drain-discipline
+# ---------------------------------------------------------------------------
+
+
+def test_pl005_flags_send_without_barrier(tmp_path):
+    report = lint(
+        tmp_path,
+        """
+        def fire_and_forget(bus, ct):
+            bus.send_payload(0, 1, ct, tag="x")
+        """,
+    )
+    assert rules_found(report) == ["PL005"]
+
+
+def test_pl005_flags_branch_that_skips_the_barrier(tmp_path):
+    report = lint(
+        tmp_path,
+        """
+        def leaky_branch(bus, ct, fast):
+            bus.broadcast_payload(0, ct, tag="x")
+            if not fast:
+                bus.round(1)
+        """,
+    )
+    assert rules_found(report) == ["PL005"]
+
+
+def test_pl005_accepts_send_then_round(tmp_path):
+    report = lint(
+        tmp_path,
+        """
+        def disciplined(bus, ct, fast):
+            bus.send_payload(0, 1, ct, tag="x")
+            if fast:
+                bus.round(1)
+            else:
+                bus.round(2)
+        """,
+    )
+    assert report.findings == []
+
+
+# ---------------------------------------------------------------------------
+# suppressions
+# ---------------------------------------------------------------------------
+
+
+def test_justified_suppression_silences_and_is_counted(tmp_path):
+    report = lint(
+        tmp_path,
+        """
+        def peek(partition):
+            # pivotlint: disable=PL001 -- scoring harness, not protocol code
+            return partition.local_features[0][:, 2]
+        """,
+    )
+    assert report.findings == []
+    assert len(report.suppressed) == 1
+
+
+def test_unjustified_suppression_is_a_finding(tmp_path):
+    report = lint(
+        tmp_path,
+        """
+        def peek(partition):
+            # pivotlint: disable=PL001
+            return partition.local_features[0][:, 2]
+        """,
+    )
+    assert sorted(rules_found(report)) == ["PL000", "PL001"]
+    assert "justification" in report.findings[0].message
+
+
+def test_suppression_of_unknown_rule_is_a_finding(tmp_path):
+    report = lint(
+        tmp_path,
+        """
+        x = 1  # pivotlint: disable=PL999 -- no such rule
+        """,
+    )
+    assert rules_found(report) == ["PL000"]
+
+
+def test_suppression_does_not_bleed_to_other_lines(tmp_path):
+    report = lint(
+        tmp_path,
+        """
+        def peek(partition):
+            a = partition.local_features[0][:, 0]  # pivotlint: disable=PL001 -- demo
+            b = partition.local_features[0][:, 1]
+            return a, b
+        """,
+    )
+    assert rules_found(report) == ["PL001"]
+    assert len(report.suppressed) == 1
+
+
+def test_file_level_suppression(tmp_path):
+    report = lint(
+        tmp_path,
+        """
+        # pivotlint: disable-file=PL001 -- explicitly-unprotected fixture
+
+        def one(partition):
+            return partition.local_features[0][:, 0]
+
+        def two(partition):
+            return partition.labels[1]
+        """,
+    )
+    assert report.findings == []
+    assert len(report.suppressed) == 2
+
+
+# ---------------------------------------------------------------------------
+# baseline
+# ---------------------------------------------------------------------------
+
+LEAKY = """
+def peek(partition):
+    return partition.local_features[0][:, 2]
+"""
+
+
+def test_baseline_accepts_justified_entries(tmp_path):
+    baseline = Baseline(
+        [BaselineEntry("PL001", "sample.py", "*", justification="fixture")]
+    )
+    report = lint(tmp_path, LEAKY, baseline=baseline)
+    assert report.findings == []
+    assert len(report.baselined) == 1
+
+
+def test_baseline_scope_must_match(tmp_path):
+    baseline = Baseline(
+        [BaselineEntry("PL001", "sample.py", "other_function", justification="x")]
+    )
+    report = lint(tmp_path, LEAKY, baseline=baseline)
+    assert rules_found(report) == ["PL001"]
+
+
+def test_unjustified_baseline_entry_fails_strict(tmp_path):
+    baseline = Baseline([BaselineEntry("PL001", "sample.py", "*")])
+    report = lint(tmp_path, LEAKY, baseline=baseline, strict=True)
+    assert "PL000" in rules_found(report)
+
+
+def test_stale_baseline_entry_fails_strict(tmp_path):
+    baseline = Baseline(
+        [BaselineEntry("PL001", "gone.py", "*", justification="was fixed")]
+    )
+    report = lint(tmp_path, "x = 1\n", baseline=baseline, strict=True)
+    assert rules_found(report) == ["PL000"]
+    assert "stale" in report.findings[0].message
+
+
+def test_baseline_round_trip(tmp_path):
+    path = tmp_path / "baseline.json"
+    original = Baseline(
+        [BaselineEntry("PL002", "a.py", "Cls.fn", justification="why")]
+    )
+    original.save(path)
+    loaded = Baseline.load(path)
+    assert loaded.entries == original.entries
+    loaded.save(path)
+    assert Baseline.load(path).entries == original.entries
+
+
+def test_baseline_rejects_unknown_version(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text('{"version": 99, "accepted": []}')
+    with pytest.raises(ValueError, match="version"):
+        Baseline.load(path)
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def test_cli_exit_codes_and_summary(tmp_path, monkeypatch, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(LEAKY)
+    summary = tmp_path / "summary.md"
+    monkeypatch.chdir(tmp_path)
+    assert pivotlint_main([str(bad), "--summary", str(summary)]) == 1
+    assert "PL001" in capsys.readouterr().out
+    assert "PL001" in summary.read_text()
+
+    good = tmp_path / "good.py"
+    good.write_text("x = 1\n")
+    assert pivotlint_main([str(good)]) == 0
+
+
+def test_cli_parse_error_is_reported(tmp_path, monkeypatch):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def oops(:\n")
+    monkeypatch.chdir(tmp_path)
+    assert pivotlint_main([str(broken)]) == 1
+
+
+# ---------------------------------------------------------------------------
+# the meta-test: the tree itself stays clean
+# ---------------------------------------------------------------------------
+
+
+def test_repo_tree_is_clean_under_strict():
+    """src/repro/ has zero unbaselined findings and zero hygiene debt.
+
+    This is the test-suite twin of CI's
+    ``python -m repro.analysis.pivotlint src/ --strict`` gate: every
+    finding must be fixed, suppressed with a justification, or recorded
+    in pivotlint.baseline.json with one.
+    """
+    baseline = Baseline.load(REPO_ROOT / "pivotlint.baseline.json")
+    analyzer = Analyzer(baseline=baseline, strict=True, root=REPO_ROOT)
+    report = analyzer.run([REPO_ROOT / "src" / "repro"])
+    assert report.files_scanned > 50
+    rendered = "\n".join(f.render() for f in report.findings)
+    assert report.findings == [], f"unbaselined findings:\n{rendered}"
+    assert report.parse_errors == []
+    # The accepted surface stays justified and honest.
+    assert all(s.reason for _, s in report.suppressed)
+    assert baseline.stale_entries() == []
