@@ -23,6 +23,7 @@ counts are transport-invariant (the parity test pins this).
 """
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -135,6 +136,61 @@ def run_tag_breakdown() -> list[list]:
     return rows
 
 
+def training_record(json_path: str | None = None) -> dict:
+    """End-to-end training record for the perf trajectory (ROADMAP item 2).
+
+    One fit per (protocol, transport) point at the DEFAULTS workload,
+    recording wall/modeled seconds, measured bytes, rounds and the
+    Ce/Cd/Cs/Cc tallies.  ``json_path`` persists it (CI writes
+    ``BENCH_training.json`` and uploads it next to
+    ``BENCH_threshold.json``).  The record also double-checks the parity
+    invariants the test suite pins: byte and round counts are
+    transport-invariant, and measured bytes reconcile with the codec's
+    size formulas.
+    """
+    record: dict[str, dict] = {"workload": dict(DEFAULTS)}
+    for protocol, transport in (
+        ("basic", "inmemory"),
+        ("basic", "asyncio"),
+        ("enhanced", "inmemory"),
+    ):
+        params = dict(DEFAULTS)
+        context = build_context(
+            protocol=protocol, transport=transport, **params
+        )
+        costs = calibrated_costs(params["m"], 256)
+        try:
+            result = timed_run(
+                lambda: TreeTrainer(context).fit(), context, costs
+            )
+            snap = context.bus.snapshot()
+        finally:
+            context.close()
+        assert snap["bytes_measured"] == snap["bytes_estimated"], (
+            f"{protocol}/{transport}: measured bytes diverge from the "
+            "codec's size formulas"
+        )
+        record[f"{protocol}/{transport}"] = {
+            "wall_seconds": round(result.wall_seconds, 4),
+            "modeled_seconds": round(result.modeled_seconds, 4),
+            "bytes": snap["bytes"],
+            "rounds": snap["rounds"],
+            "ops": result.ops,
+        }
+    for protocol in ("basic",):
+        memory = record[f"{protocol}/inmemory"]
+        sockets = record[f"{protocol}/asyncio"]
+        for invariant in ("bytes", "rounds", "ops"):
+            assert memory[invariant] == sockets[invariant], (
+                f"{protocol}: {invariant} differ across transports — "
+                "the deployment-parity guarantee regressed"
+            )
+    if json_path:
+        Path(json_path).write_text(json.dumps(record, indent=2) + "\n")
+        print(f"wrote {json_path}")
+    return record
+
+
 def run_sweep(parameter: str) -> list[list]:
     rows = []
     for value in SWEEPS[parameter]:
@@ -197,8 +253,30 @@ def main() -> None:
         help="message transport for every sweep point (asyncio = real "
         "local sockets; byte/round counts are identical either way)",
     )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the end-to-end training record (wall, bytes, rounds "
+        "per protocol/transport) to PATH (e.g. BENCH_training.json)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fast CI check: emit only the training record (and its "
+        "cross-transport parity assertions), skip the full sweeps",
+    )
     args = parser.parse_args()
     TRANSPORT = args.transport
+
+    if args.smoke:
+        record = training_record(json_path=args.json)
+        points = [k for k in record if k != "workload"]
+        print(f"SMOKE OK: {len(points)} training points recorded "
+              f"({', '.join(points)}); bytes/rounds/ops transport-invariant")
+        return
+    if args.json:
+        training_record(json_path=args.json)
 
     header = ["sweep", "basic wall(s)", "enh wall(s)",
               "basic model(s)", "enh model(s)", "enh/basic"]

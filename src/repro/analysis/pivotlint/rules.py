@@ -289,9 +289,26 @@ _LOG_SINKS = frozenset(
 )
 
 #: Dataclass fields that hold key secrets: an auto-generated __repr__
-#: would print them into logs/tracebacks.
+#: would print them into logs/tracebacks.  Covers both the legacy dealer
+#: secrets (λ, µ, the prime factors, the full private key) and the
+#: distributed-keygen share material each party samples locally
+#: (repro.crypto.distkeygen): no keygen path may move p_i/q_i/β_i, the
+#: per-party aux key, or a d_i over the bus — only pow()-derived protocol
+#: values (commitments, partial products, decryption shares) travel.
 SECRET_FIELDS = frozenset(
-    {"d_share", "lam", "mu", "p", "q", "private_key", "_private_key"}
+    {
+        "d_share",
+        "lam",
+        "mu",
+        "p",
+        "q",
+        "private_key",
+        "_private_key",
+        "p_share",
+        "q_share",
+        "beta_share",
+        "aux_private_key",
+    }
 )
 
 
@@ -303,10 +320,11 @@ class SecretEscape(Rule):
     name = "secret-escape"
     summary = (
         "Taint from secret sources (partial keys d_i, the dealer's "
-        "private key / λ / µ, prime factors) reaching a bus send, the "
-        "wire encoder, a log/print/f-string/exception message, or the "
-        "return value of a public function; also secret-bearing "
-        "dataclass fields left in the auto-generated repr."
+        "private key / λ / µ, prime factors, distributed-keygen shares "
+        "p_i/q_i/β_i and the aux key) reaching a bus send, the wire "
+        "encoder, a log/print/f-string/exception message, or the return "
+        "value of a public function; also secret-bearing dataclass "
+        "fields left in the auto-generated repr."
     )
     hint = (
         "secrets never leave their owner: send derived protocol values "
@@ -456,6 +474,7 @@ WIRE_TYPES: set[str] = {
     "EncryptedNumber",
     "PartialDecryption",
     "PartialDecryptionVector",
+    "Request",
     "ShareVector",
     "bytes",
     "list",
@@ -588,8 +607,17 @@ class UnregisteredPayload(Rule):
 # PL004 — dealer-use-after-scrub
 # ---------------------------------------------------------------------------
 
-#: Methods of a DeployedFederation subclass that legitimately touch dealer
-#: key material: assembly and provisioning run *before* the scrub.
+#: Classes whose post-provisioning methods must never reach dealer-key
+#: material.  DeployedFederation scrubs the dealer key after provisioning;
+#: RuntimeFederation (the standalone runtime, distributed keygen) never
+#: has one — there the same operations are not merely scrubbed but
+#: *impossible*, so flagging them is even more clear-cut.
+_DEPLOYED_ROOTS = frozenset({"DeployedFederation", "RuntimeFederation"})
+
+#: Methods of a deployed-federation class that legitimately touch dealer
+#: key material: assembly and provisioning run *before* the scrub.  (For
+#: RuntimeFederation these phases hold no dealer key either — keygen is
+#: distributed — but they are still the only place key material may move.)
 _PRE_SCRUB_METHODS = frozenset(
     {"__init__", "from_partition", "from_global", "_assemble", "_provision"}
 )
@@ -606,17 +634,21 @@ class DealerUseAfterScrub(Rule):
     rule_id = "PL004"
     name = "dealer-use-after-scrub"
     summary = (
-        "Inside DeployedFederation (or a subclass), post-provisioning "
-        "code reaches an operation that only works pre-scrub: dealer-key "
-        "CRT decryption, reading threshold .shares / ._private_key / "
-        ".d_share, direct threshold.joint_decrypt* (bypassing the "
-        "service-routed combine flow), or forcing decrypt_mode back to "
-        "'simulate'."
+        "Inside DeployedFederation or RuntimeFederation (or a subclass), "
+        "post-provisioning code reaches an operation that only works "
+        "with dealer key material: dealer-key CRT decryption, reading "
+        "threshold .shares / ._private_key / .d_share, direct "
+        "threshold.joint_decrypt* (bypassing the service-routed combine "
+        "flow), or forcing decrypt_mode back to 'simulate'.  A "
+        "DeployedFederation scrubs the dealer key after provisioning; a "
+        "RuntimeFederation runs distributed keygen, so no dealer key "
+        "ever exists and the 'simulate' fallback is flat-out impossible."
     )
     hint = (
-        "after scrub_dealer() only the share-combination flow can decrypt: "
-        "route through context.joint_decrypt*/the decrypt services, and "
-        "keep dealer-key access inside __init__/provisioning"
+        "only the share-combination flow can decrypt (post-scrub for "
+        "DeployedFederation, always for RuntimeFederation): route through "
+        "context.joint_decrypt*/the decrypt services, and keep key-"
+        "material access inside __init__/provisioning"
     )
 
     def check(self, ctx: "FileContext") -> list[Finding]:
@@ -630,8 +662,8 @@ class DealerUseAfterScrub(Rule):
                     b.attr if isinstance(b, ast.Attribute) else getattr(b, "id", "")
                     for b in node.bases
                 }
-                if node.name == "DeployedFederation" or (
-                    base_names & ({"DeployedFederation"} | deployed_classes)
+                if node.name in _DEPLOYED_ROOTS or (
+                    base_names & (_DEPLOYED_ROOTS | deployed_classes)
                 ):
                     deployed_classes.add(node.name)
 

@@ -72,6 +72,15 @@ class PivotConfig:
     #: threshold-realism leg — is set) resolves to ``"simulate"`` when
     #: ``batch_crypto`` is on and ``"combine"`` otherwise.
     decrypt_mode: str | None = field(default_factory=decrypt_mode_default)
+    #: How the threshold-Paillier key material comes into existence.
+    #: ``"dealer"`` is the legacy trusted setup: one process samples p, q
+    #: and deals the d_i shares (then optionally scrubs itself).
+    #: ``"distributed"`` runs the m-party keygen protocol
+    #: (repro.crypto.distkeygen) as bus flows — every party samples her own
+    #: p_i/q_i shares, the RSA modulus is biprimality-tested jointly, and
+    #: no process ever materializes lambda, mu, p or q.  Distributed keygen
+    #: has no dealer key, so ``decrypt_mode="simulate"`` is incompatible.
+    keygen: str = "dealer"
     #: Enforce the party boundary: every raw feature/label read must happen
     #: inside the owning party's scope (repro.federation.locality), so a
     #: cross-party array read that doesn't travel on the bus raises a
@@ -97,6 +106,15 @@ class PivotConfig:
             raise ValueError(
                 f"decrypt_mode must be one of {DECRYPT_MODES} (or None), "
                 f"got {self.decrypt_mode!r}"
+            )
+        if self.keygen not in ("dealer", "distributed"):
+            raise ValueError(
+                f"keygen must be 'dealer' or 'distributed', got {self.keygen!r}"
+            )
+        if self.keygen == "distributed" and self.decrypt_mode == "simulate":
+            raise ValueError(
+                "keygen='distributed' produces no dealer key to simulate "
+                "with; use decrypt_mode='combine' (or None)"
             )
         self.tree.validate()
         if self.protocol == "enhanced":

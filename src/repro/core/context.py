@@ -22,6 +22,7 @@ from repro.crypto.encoding import (
     PaillierEncoder,
     encrypted_dot_product,
 )
+from repro.crypto.distkeygen import KeygenParty
 from repro.crypto.threshold import (
     ThresholdPaillier,
     combine_partial_vectors,
@@ -29,7 +30,7 @@ from repro.crypto.threshold import (
 )
 from repro.data.partition import VerticalPartition
 from repro.federation.locality import LocalView, as_party
-from repro.federation.party import PartyEndpoint, PartyService
+from repro.federation.party import PartyEndpoint, PartyRuntime
 from repro.mpc.advanced import FixedPointOps
 from repro.mpc.conversion import (
     ConversionCounters,
@@ -39,7 +40,7 @@ from repro.mpc.conversion import (
 from repro.mpc.engine import MPCEngine
 from repro.mpc.sharing import SharedValue
 from repro.network.bus import MessageBus
-from repro.network.flows import record_threshold_decrypt
+from repro.network.flows import record_threshold_decrypt, run_distributed_keygen
 from repro.network.transport import make_transport
 from repro.network.wire import WireCodec
 from repro.tree.splits import candidate_splits
@@ -167,29 +168,20 @@ class PivotContext:
         *,
         transport=None,
         remote_clients: dict[int, object] | None = None,
+        local_parties: tuple[int, ...] | None = None,
     ):
         self.partition = partition
         self.config = config or PivotConfig()
         remote_clients = remote_clients or {}
         m = partition.n_clients
-        self.threshold = generate_threshold_keypair(m, self.config.keysize)
-        #: How plaintexts are recovered (see PivotConfig.decrypt_mode):
-        #: "combine" reconstructs from the m share vectors the decryption
-        #: flow moves; "simulate" shortcuts through the dealer's retained
-        #: CRT key.  An unset config resolves from batch_crypto.
-        self.threshold.decrypt_mode = self.config.decrypt_mode or (
-            "simulate" if self.config.batch_crypto else "combine"
-        )
-        self.encoder = PaillierEncoder(
-            self.threshold.public_key, frac_bits=self.config.frac_bits
-        )
-        #: Batched, CRT-accelerated crypto engine shared by every hot path.
-        self.batch = BatchCryptoEngine(
-            self.threshold.public_key,
-            encoder=self.encoder,
-            threshold=self.threshold,
-            workers=self.config.crypto_workers if self.config.batch_crypto else 0,
-            pool_size=self.config.crypto_pool_size if self.config.batch_crypto else 0,
+        #: Parties whose inboxes (and, with distributed keygen, keygen
+        #: state machines and key shares) live in this process.  All m for
+        #: the in-memory / asyncio / deployed topologies; just the super
+        #: client for a standalone-runtime orchestrator; exactly one for a
+        #: standalone party process.
+        self.local_parties = (
+            tuple(range(m)) if local_parties is None
+            else tuple(sorted(local_parties))
         )
         self.engine = MPCEngine(
             m,
@@ -200,14 +192,77 @@ class PivotContext:
         self.fx = FixedPointOps(
             self.engine, k=self.config.mpc_k, f=self.config.frac_bits
         )
-        self.bus = MessageBus(
-            m,
-            codec=WireCodec(
-                self.threshold.public_key,
-                share_modulus=self.engine.field.q,
-                encoder=self.encoder,
-            ),
-            transport=make_transport(transport, m),
+        if self.config.keygen == "distributed":
+            # §3.4 without the dealer: the m clients run the distributed
+            # keygen protocol as real bus flows *before* any key exists —
+            # the codec starts key-less (keygen payloads are plain
+            # integers/bytes) and is bound to the public key it produces.
+            # Only this process's parties' machines run here; their d_i
+            # shares are the only key material this process ever holds.
+            codec = WireCodec(None, share_modulus=self.engine.field.q)
+            self.bus = MessageBus(
+                m,
+                codec=codec,
+                transport=make_transport(transport, m),
+                local_parties=self.local_parties,
+            )
+            self.keygen_machines = {
+                i: KeygenParty(
+                    i,
+                    m,
+                    self.config.keysize,
+                    seed=self.config.seed,
+                    kappa=self.config.kappa,
+                )
+                for i in self.local_parties
+            }
+            results = run_distributed_keygen(self.bus, self.keygen_machines)
+            sample = results[self.local_parties[0]]
+            shares = [None] * m
+            for i, result in results.items():
+                shares[i] = result.share
+            self.threshold = ThresholdPaillier(
+                sample.public_key,
+                shares,
+                decrypt_mode=self.config.decrypt_mode or "combine",
+                theta=sample.theta,
+                distributed=True,
+            )
+            self.encoder = PaillierEncoder(
+                sample.public_key, frac_bits=self.config.frac_bits
+            )
+            codec.bind(sample.public_key, encoder=self.encoder)
+        else:
+            self.keygen_machines = None
+            self.threshold = generate_threshold_keypair(m, self.config.keysize)
+            #: How plaintexts are recovered (see PivotConfig.decrypt_mode):
+            #: "combine" reconstructs from the m share vectors the
+            #: decryption flow moves; "simulate" shortcuts through the
+            #: dealer's retained CRT key.  An unset config resolves from
+            #: batch_crypto.
+            self.threshold.decrypt_mode = self.config.decrypt_mode or (
+                "simulate" if self.config.batch_crypto else "combine"
+            )
+            self.encoder = PaillierEncoder(
+                self.threshold.public_key, frac_bits=self.config.frac_bits
+            )
+            self.bus = MessageBus(
+                m,
+                codec=WireCodec(
+                    self.threshold.public_key,
+                    share_modulus=self.engine.field.q,
+                    encoder=self.encoder,
+                ),
+                transport=make_transport(transport, m),
+                local_parties=self.local_parties,
+            )
+        #: Batched, CRT-accelerated crypto engine shared by every hot path.
+        self.batch = BatchCryptoEngine(
+            self.threshold.public_key,
+            encoder=self.encoder,
+            threshold=self.threshold,
+            workers=self.config.crypto_workers if self.config.batch_crypto else 0,
+            pool_size=self.config.crypto_pool_size if self.config.batch_crypto else 0,
         )
         self.conversions = ConversionCounters()
         #: Enforced party boundary: feature/label reads go through
@@ -241,30 +296,47 @@ class PivotContext:
             self.clients.append(
                 PivotClient(index=i, features=view, split_values=split_values)
             )
-        #: One reactive decrypt service per party: when a threshold
-        #: decryption is in flight, each party's service receives the
-        #: ciphertext broadcast on her endpoint, computes her c^{d_i}
-        #: share vector — with her key share here, or inside her worker
-        #: process for remote parties — and broadcasts it back.  This is
-        #: the data path of decrypt_mode="combine".
-        self.decrypt_services = []
+        #: One reactive event loop per *local* party: every protocol flow
+        #: she takes part in — threshold-decryption shares, candidate-split
+        #: statistics, split application, MPC mask contributions, logistic
+        #: batch flows — runs as a reaction on her own endpoint
+        #: (:class:`~repro.federation.party.PartyRuntime`).  Remote-process
+        #: parties (deployment workers) get a runtime whose key and feature
+        #: computations proxy into their worker; standalone-runtime parties
+        #: get ``None`` — their event loops run in their own processes
+        #: against the same bytes.
+        self.runtimes: list[PartyRuntime | None] = []
+        field_q = self.engine.field.q
         for i in range(m):
+            if i not in self.local_parties:
+                self.runtimes.append(None)
+                continue
             endpoint = PartyEndpoint(self.bus, i)
             client = self.clients[i]
             if i in remote_clients:
-                self.decrypt_services.append(
-                    PartyService(
-                        endpoint, compute_shares=client.decryption_shares
+                self.runtimes.append(
+                    PartyRuntime(
+                        endpoint,
+                        client=client,
+                        engine=self.batch,
+                        field_q=field_q,
+                        compute_shares=client.decryption_shares,
                     )
                 )
             else:
-                self.decrypt_services.append(
-                    PartyService(
+                self.runtimes.append(
+                    PartyRuntime(
                         endpoint,
+                        client=client,
+                        engine=self.batch,
+                        field_q=field_q,
                         key_share=self.threshold.shares[i],
                         parallel_map=self.batch._map,
                     )
                 )
+        #: Legacy alias: the runtimes are the decrypt services (the decrypt
+        #: reaction is the PartyService half of the runtime).
+        self.decrypt_services = self.runtimes
         #: The labels, owned by the super client alone (§3.1).
         self.labels = LocalView(
             partition.labels,
@@ -344,6 +416,7 @@ class PivotContext:
                 vectors,
                 self.n_clients,
                 signed=signed,
+                theta=self.threshold.theta,
             )
         record_threshold_decrypt(self.bus, payload, tag=tag)
         ciphertexts = [
@@ -398,7 +471,7 @@ class PivotContext:
         return ciphers_to_shares(
             values, self.threshold, self.fx, self.conversions,
             batch_engine=self.batch, bus=self.bus,
-            services=self.decrypt_services,
+            services=self.decrypt_services, runtimes=self.runtimes,
         )
 
     def to_cipher(self, value: SharedValue, exponent: int | None = None) -> EncryptedNumber:

@@ -53,12 +53,17 @@ class PlaintextLabelProvider:
         return len(self.betas)
 
     def gammas(
-        self, alpha: list[EncryptedNumber], node_gammas
+        self, alpha: list[EncryptedNumber], node_gammas, node_key: int = 1
     ) -> list[list[EncryptedNumber]]:
-        """[γ] = β ∘ [α], computed and broadcast by the super client (§4.1).
+        """[γ] = β ∘ [α], computed by the super client and published to the
+        other parties' event loops as one ``node-gammas`` request (§4.1).
 
         ``node_gammas`` is ignored in this regime (recomputed per node).
+        Every receiving runtime attaches the vectors to her stored node
+        state, so the node's subsequent split-stats request finds them.
         """
+        from repro.network.flows import broadcast_request
+
         ctx = self.context
         result = []
         for beta in self.betas:
@@ -68,7 +73,17 @@ class PlaintextLabelProvider:
                 scalars = [ctx.encoder.encode(float(b)) for b in beta]
             gamma = ctx.batch.scale_vector(alpha, scalars)
             result.append(gamma)
-            ctx.bus.broadcast_payload(ctx.super_client, gamma, tag="label-vectors")
+        runtime = ctx.runtimes[ctx.super_client]
+        if node_key in runtime.nodes:
+            runtime.nodes[node_key][1] = [list(g) for g in result]
+        broadcast_request(
+            ctx.bus,
+            ctx.super_client,
+            "node-gammas",
+            [node_key, result],
+            tag="label-vectors",
+            runtimes=ctx.runtimes,
+        )
         ctx.bus.round()
         return result
 
@@ -94,8 +109,15 @@ class EncryptedLabelProvider:
     def n_vectors(self) -> int:
         return 2
 
-    def gammas(self, alpha, node_gammas) -> list[list[EncryptedNumber]]:
-        """Return the node's [γ] vectors, maintained alongside [α]."""
+    def gammas(
+        self, alpha, node_gammas, node_key: int = 1
+    ) -> list[list[EncryptedNumber]]:
+        """Return the node's [γ] vectors, maintained alongside [α].
+
+        No request flow: the vectors ride with [α] through every
+        ``node-state`` / ``node-split`` message, so each party's event
+        loop already holds them (§7.2's optimisation, now per-runtime).
+        """
         if node_gammas is None:  # root node
             return self.root_gammas
         return node_gammas

@@ -26,6 +26,8 @@ import numpy as np
 
 from repro.core.context import PivotContext
 from repro.crypto.encoding import EncryptedNumber, encrypted_dot_product
+from repro.network.flows import collect_replies, react_runtimes
+from repro.network.wire import Request
 
 __all__ = ["LogisticTrainer", "PivotLogisticRegression"]
 
@@ -89,31 +91,40 @@ class LogisticTrainer:
     def _batch_losses(self, batch: list[int], label_shares) -> list:
         """⟨σ(x·θ) - y⟩ for each sample of the batch.
 
-        Each client computes her per-sample encrypted partial sums
-        ``client.batch_sums`` — her own local computation over her own
-        columns, which a process deployment executes inside her worker —
-        and only the ciphertext outputs travel to the super client.
+        Request/response flow: the super client sends every other party an
+        ``lr-batch-sums`` request carrying the batch rows and her encrypted
+        weight block; the party reacts on her own event loop —
+        ``client.batch_sums`` over *her* columns, in her own process when
+        she runs standalone — and replies with the per-sample partial-sum
+        ciphertexts.  Only ciphertexts travel in either direction.
         """
         ctx, fx = self.ctx, self.ctx.fx
+        sup = ctx.super_client
+        for client, block in zip(ctx.clients, self.weights):
+            if client.index == sup:
+                continue
+            ctx.bus.send_payload(
+                sup,
+                client.index,
+                Request("lr-batch-sums", [batch, block]),
+                tag="lr-partial-sum",
+            )
+        react_runtimes(ctx.runtimes, exclude=(sup,))
+        own_partials = ctx.clients[sup].batch_sums(batch, self.weights[sup])
+        others = [c.index for c in ctx.clients if c.index != sup]
+        replies = collect_replies(ctx.bus, sup, others)
+        ctx.bus.round()
         partials_per_client = [
-            client.batch_sums(batch, block)
-            for client, block in zip(ctx.clients, self.weights)
+            own_partials if client.index == sup else list(replies[client.index])
+            for client in ctx.clients
         ]
         xi_cts = []
         for k, _ in enumerate(batch):
             total = None
-            for client, partials in zip(ctx.clients, partials_per_client):
+            for partials in partials_per_client:
                 partial = partials[k]
                 total = partial if total is None else total + partial
-                if client.index != ctx.super_client:
-                    ctx.bus.send_payload(
-                        client.index,
-                        ctx.super_client,
-                        partial,
-                        tag="lr-partial-sum",
-                    )
             xi_cts.append(total)
-        ctx.bus.round()
         z_shares = ctx.to_shares(xi_cts)
         losses = []
         for t, z in zip(batch, z_shares):
@@ -125,16 +136,35 @@ class LogisticTrainer:
         """[θ_ij] -= (lr/|B|) Σ_t x_tij ⊗ [loss_t], all homomorphic.
 
         The gradient fold reads raw feature values, so it runs as each
-        client's own computation (``client.weight_update`` — in-process
-        here, in the owning worker for a process deployment); only the
-        updated weight ciphertexts come back.
+        party's own reaction: an ``lr-update`` request ships the rows, her
+        current encrypted block, the encrypted losses and the step scale;
+        she folds her columns in locally and replies with the updated
+        block ciphertexts.  Weights stay encrypted end to end — the blocks
+        travelling in both directions are ciphertext vectors.
         """
         ctx = self.ctx
+        sup = ctx.super_client
         loss_cts = [ctx.to_cipher(loss) for loss in losses]
         scale = self.learning_rate / len(batch)
+        for client, block in zip(ctx.clients, self.weights):
+            if client.index == sup:
+                continue
+            ctx.bus.send_payload(
+                sup,
+                client.index,
+                Request("lr-update", [batch, block, loss_cts, scale]),
+                tag="lr-weights",
+            )
+        react_runtimes(ctx.runtimes, exclude=(sup,))
+        own_updated = ctx.clients[sup].weight_update(
+            batch, self.weights[sup], loss_cts, scale
+        )
+        others = [c.index for c in ctx.clients if c.index != sup]
+        replies = collect_replies(ctx.bus, sup, others)
+        ctx.bus.round()
         self.weights = [
-            client.weight_update(batch, block, loss_cts, scale)
-            for client, block in zip(ctx.clients, self.weights)
+            own_updated if client.index == sup else list(replies[client.index])
+            for client in ctx.clients
         ]
 
     def _refresh_weights(self) -> None:

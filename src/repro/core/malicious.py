@@ -147,7 +147,10 @@ class VerifiedLabelProvider(PlaintextLabelProvider):
         for commitment in self.commitments:
             commitment.verify_commitment()
 
-    def gammas(self, alpha, node_gammas):
+    def gammas(self, alpha, node_gammas, node_key: int = 1):
+        # Central verified flow (the malicious model is a research mode
+        # driven in one process); node_key is accepted for interface
+        # parity with the reactive provider but no runtime store is kept.
         ctx = self.context
         result = []
         for index, commitment in enumerate(self.commitments):
@@ -197,8 +200,15 @@ class MaliciousPivotDecisionTree(TreeTrainer):
                     self.committed_indicators[(client.index, feature, split)] = vector
         context.bus.round()
 
-    def _compute_split_stats(self, identifiers, alpha, gammas):
-        """Split statistics with POHDP proofs against the commitments."""
+    def _compute_split_stats(
+        self, identifiers, alpha, gammas, available=None, node_key=1
+    ):
+        """Split statistics with POHDP proofs against the commitments.
+
+        Stays a centrally driven flow (proof generation and verification
+        both run here); ``available``/``node_key`` mirror the reactive base
+        signature.
+        """
         ctx = self.ctx
         pk = ctx.threshold.public_key
         stat_cts: list[EncryptedNumber] = []
@@ -227,7 +237,10 @@ class MaliciousPivotDecisionTree(TreeTrainer):
         # [n_l, n_r, g_l^{(0)}, g_r^{(0)}, ...] per split.
         return stat_cts
 
-    def _split_basic(self, alpha, gammas, available, depth, identifiers, best_index, node_stats):
+    def _split_basic(
+        self, alpha, gammas, available, depth, identifiers, best_index,
+        node_stats, node_key=1,
+    ):
         """Model update with per-element POPCM on [α_l], [α_r] (§9.1.2)."""
         ctx = self.ctx
         flat = int(ctx.engine.open(best_index))
@@ -266,8 +279,14 @@ class MaliciousPivotDecisionTree(TreeTrainer):
         child_available = _child_available(
             available, owner_idx, feature, self.cfg.tree.remove_used_feature
         )
-        node.left = self._build(alpha_left, None, child_available, depth + 1)
-        node.right = self._build(alpha_right, None, child_available, depth + 1)
+        node.left = self._build(
+            alpha_left, None, child_available, depth + 1,
+            node_key=2 * node_key,
+        )
+        node.right = self._build(
+            alpha_right, None, child_available, depth + 1,
+            node_key=2 * node_key + 1,
+        )
         return node
 
 

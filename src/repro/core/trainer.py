@@ -40,6 +40,8 @@ from repro.core.gain import NodeStats, SplitStats, secure_split_gains
 from repro.core.labels import EncryptedLabelProvider, PlaintextLabelProvider
 from repro.crypto.encoding import EncryptedNumber, encrypted_dot_product
 from repro.mpc.sharing import SharedValue
+from repro.network.flows import broadcast_request, collect_replies, react_runtimes
+from repro.network.wire import Request
 from repro.tree.model import DecisionTreeModel, TreeNode
 
 __all__ = ["PivotDecisionTree", "TreeTrainer", "SECURE_GAIN_EPS"]
@@ -93,10 +95,26 @@ class TreeTrainer:
             if bits.shape[0] != ctx.n_samples:
                 raise ValueError("initial mask length mismatch")
         alpha = ctx.encrypt_indicator(bits)
-        ctx.bus.broadcast_payload(ctx.super_client, alpha, tag="mask-vector")
+        # Root node state: the super client *requests*, every other party
+        # stores [α] (plus the riding [γ]s for encrypted-label rounds) on
+        # her own event loop, keyed by heap position (root = 1).
+        root_gammas = (
+            [list(g) for g in self.provider.root_gammas]
+            if self.provider.rides_with_alpha
+            else []
+        )
+        ctx.runtimes[ctx.super_client].store_node(1, alpha, root_gammas)
+        broadcast_request(
+            ctx.bus,
+            ctx.super_client,
+            "node-state",
+            [1, alpha, root_gammas],
+            tag="mask-vector",
+            runtimes=ctx.runtimes,
+        )
         ctx.bus.round()
         available = [list(range(c.n_features)) for c in ctx.clients]
-        root = self._build(alpha, None, available, depth=0)
+        root = self._build(alpha, None, available, depth=0, node_key=1)
         n_classes = self.provider.n_classes if self.task == "classification" else 0
         self.model = DecisionTreeModel(root, self.task, n_classes)
         return self.model
@@ -111,9 +129,10 @@ class TreeTrainer:
         node_gammas: list[list[EncryptedNumber]] | None,
         available: list[list[int]],
         depth: int,
+        node_key: int = 1,
     ) -> TreeNode:
         ctx, fx = self.ctx, self.fx
-        gammas = self.provider.gammas(alpha, node_gammas)
+        gammas = self.provider.gammas(alpha, node_gammas, node_key)
 
         # Node-level encrypted statistics: n on this node + per-vector sums.
         count_ct = ctx.batch.sum_ciphertexts(alpha)
@@ -148,7 +167,9 @@ class TreeTrainer:
         identifiers = ctx.split_identifiers(available)
         if not identifiers:
             return self._make_leaf(node_stats, depth)
-        stat_cts = self._compute_split_stats(identifiers, alpha, gammas)
+        stat_cts = self._compute_split_stats(
+            identifiers, alpha, gammas, available, node_key
+        )
 
         # -- MPC computation: convert + secure gains + secure max -----------
         stat_shares = ctx.to_shares(stat_cts)
@@ -190,10 +211,11 @@ class TreeTrainer:
         if self.enhanced:
             return self._split_enhanced(
                 alpha, gammas, available, depth, identifiers, best_index, onehot,
-                node_stats,
+                node_stats, node_key,
             )
         return self._split_basic(
-            alpha, gammas, available, depth, identifiers, best_index, node_stats
+            alpha, gammas, available, depth, identifiers, best_index, node_stats,
+            node_key,
         )
 
     def _compute_split_stats(
@@ -201,35 +223,53 @@ class TreeTrainer:
         identifiers: list[tuple[int, int, int]],
         alpha: list[EncryptedNumber],
         gammas: list[list[EncryptedNumber]],
+        available: list[list[int]],
+        node_key: int,
     ) -> list[EncryptedNumber]:
         """Each client's local homomorphic dot products (Eq. 7 / Eq. 9),
-        batched through the crypto engine (one fan-out over all splits).
+        as a reactive request/response flow.
+
+        The super client broadcasts one ``split-stats`` request naming the
+        node and the available-feature lists; every other party reacts by
+        computing *her* identifiers' statistics on her own event loop —
+        over her own columns, from her own copy of the node state — and
+        broadcasting the flat ciphertext vector.  The super client
+        computes and broadcasts her own the same way, then reassembles
+        global identifier order (clients ascending, the
+        :meth:`~repro.core.context.PivotContext.split_identifiers` order)
+        from the per-party chunks.
 
         The malicious-model extension overrides this to attach and verify
         POHDP proofs (§9.1.2).
         """
         ctx = self.ctx
-        tasks: list[tuple[list[int], list[EncryptedNumber]]] = []
-        for client_idx, feature, split in identifiers:
-            client = ctx.clients[client_idx]
-            v_left = client.indicator(feature, split)
-            v_right = 1 - v_left
-            tasks.append((list(v_left), alpha))
-            tasks.append((list(v_right), alpha))
-            for gamma in gammas:
-                tasks.append((list(v_left), gamma))
-                tasks.append((list(v_right), gamma))
-        stats = ctx.batch.batch_dot_products(tasks)
-        # Each client broadcasts her computed encrypted statistics — the
-        # real ciphertexts, measured on the wire.
-        stride = 2 + 2 * len(gammas)
-        for index, (client_idx, _feature, _split) in enumerate(identifiers):
-            ctx.bus.broadcast_payload(
-                client_idx,
-                stats[index * stride : (index + 1) * stride],
-                tag="split-stats",
-            )
+        sup = ctx.super_client
+        broadcast_request(
+            ctx.bus,
+            sup,
+            "split-stats",
+            [node_key, available],
+            tag="split-stats",
+            runtimes=ctx.runtimes,
+        )
+        own_stats = ctx.runtimes[sup].split_statistics(
+            node_key, list(available[sup])
+        )
+        ctx.bus.broadcast_payload(sup, own_stats, tag="split-stats")
+        others = [c.index for c in ctx.clients if c.index != sup]
+        replies = collect_replies(ctx.bus, sup, others)
         ctx.bus.round()
+        stats: list[EncryptedNumber] = []
+        for client in ctx.clients:
+            chunk = own_stats if client.index == sup else replies[client.index]
+            stats.extend(chunk)
+        expected = len(identifiers) * (2 + 2 * len(gammas))
+        if len(stats) != expected:
+            raise ValueError(
+                f"split statistics shape mismatch: expected {expected} "
+                f"ciphertexts over {len(identifiers)} identifiers, "
+                f"got {len(stats)}"
+            )
         return stats
 
     # ------------------------------------------------------------------
@@ -245,29 +285,48 @@ class TreeTrainer:
         identifiers: list[tuple[int, int, int]],
         best_index: SharedValue,
         node_stats: NodeStats,
+        node_key: int,
     ) -> TreeNode:
+        """Model update (§4.1): the split *owner* reacts on her own event
+        loop — masks [α] (and the riding [γ]s) by her plaintext indicator,
+        re-randomised (pooled masks, batched), and broadcasts both children
+        plus the revealed threshold as a ``node-split``.  The super client
+        either is the owner (she applies the split through her own runtime)
+        or sends the owner a ``split-apply`` request and takes the children
+        from the owner's reply like every other party.
+        """
         ctx = self.ctx
         flat = int(ctx.engine.open(best_index))
         owner_idx, feature, split = identifiers[flat]
         ctx.revealed.append((f"best-split-d{depth}", (owner_idx, feature, split)))
-        owner = ctx.clients[owner_idx]
-        threshold = owner.split_values[feature][split]
-        v_left = owner.indicator(feature, split)
-
-        # Element-wise masking by the plaintext 0/1 vector, re-randomised
-        # before broadcast (§4.1 model update) — pooled masks, batched.
-        alpha_left = ctx.batch.mask_vector(alpha, v_left)
-        alpha_right = ctx.batch.mask_vector(alpha, 1 - v_left)
-        gam_left = gam_right = None
-        broadcast = [alpha_left, alpha_right]
-        if self.provider.rides_with_alpha:
-            gam_left = [ctx.batch.mask_vector(g, v_left) for g in gammas]
-            gam_right = [ctx.batch.mask_vector(g, 1 - v_left) for g in gammas]
-            # The masked [γ] vectors ride along with [α] in the same
-            # broadcast (§7.2's optimisation) — and therefore on the wire.
-            broadcast += gam_left + gam_right
-        ctx.bus.broadcast_payload(owner_idx, broadcast, tag="mask-vector")
+        sup = ctx.super_client
+        ride = 1 if self.provider.rides_with_alpha else 0
+        if owner_idx == sup:
+            body = ctx.runtimes[sup].apply_split(node_key, feature, split, ride)
+            react_runtimes(ctx.runtimes, exclude=(sup,))
+        else:
+            ctx.bus.send_payload(
+                sup,
+                owner_idx,
+                Request("split-apply", [node_key, feature, split, ride]),
+                tag="mask-vector",
+            )
+            owner_runtime = ctx.runtimes[owner_idx]
+            if owner_runtime is not None:
+                owner_runtime.react()
+            reply = ctx.bus.receive(sup, tag="mask-vector")
+            if not isinstance(reply, Request) or reply.op != "node-split":
+                raise ValueError(
+                    f"expected a node-split reply from party {owner_idx}, "
+                    f"got {reply!r}"
+                )
+            body = list(reply.body)
+            ctx.runtimes[sup].store_split(body)
+            react_runtimes(ctx.runtimes, exclude=(sup, owner_idx))
         ctx.bus.round()
+        _key, threshold, alpha_left, alpha_right, gam_left, gam_right = body
+        gam_left = [list(g) for g in gam_left] or None
+        gam_right = [list(g) for g in gam_right] or None
 
         node = TreeNode(
             is_leaf=False,
@@ -282,10 +341,12 @@ class TreeTrainer:
             available, owner_idx, feature, self.cfg.tree.remove_used_feature
         )
         node.left = self._build(
-            alpha_left, gam_left, child_available, depth + 1
+            list(alpha_left), gam_left, child_available, depth + 1,
+            node_key=2 * node_key,
         )
         node.right = self._build(
-            alpha_right, gam_right, child_available, depth + 1
+            list(alpha_right), gam_right, child_available, depth + 1,
+            node_key=2 * node_key + 1,
         )
         return node
 
@@ -303,6 +364,7 @@ class TreeTrainer:
         best_index: SharedValue,
         onehot: list[SharedValue],
         node_stats: NodeStats,
+        node_key: int,
     ) -> TreeNode:
         ctx, fx = self.ctx, self.fx
         # Reveal only (i*, j*): per-feature sums of the one-hot vector open
@@ -370,11 +432,42 @@ class TreeTrainer:
         )
         node.hidden["threshold_share"] = threshold_share
         node.hidden["threshold_cipher"] = threshold_cipher
+        # The Eq. 10 flow is driven centrally (it already broadcasts the
+        # combined [α'] under the eq10 tag), so the per-party event loops
+        # have not stored the children — publish their node state
+        # explicitly to keep the runtimes' stores coherent for the next
+        # level's split-stats requests.
+        sup = ctx.super_client
+        for key, child_alpha, child_gammas in (
+            (2 * node_key, alpha_left, gam_left),
+            (2 * node_key + 1, alpha_right, gam_right),
+        ):
+            payload_gammas = (
+                [list(g) for g in child_gammas]
+                if child_gammas is not None
+                else []
+            )
+            ctx.runtimes[sup].store_node(key, child_alpha, payload_gammas)
+            broadcast_request(
+                ctx.bus,
+                sup,
+                "node-state",
+                [key, child_alpha, payload_gammas],
+                tag="mask-vector",
+                runtimes=ctx.runtimes,
+            )
+        ctx.bus.round()
         child_available = _child_available(
             available, owner_idx, feature, self.cfg.tree.remove_used_feature
         )
-        node.left = self._build(alpha_left, gam_left, child_available, depth + 1)
-        node.right = self._build(alpha_right, gam_right, child_available, depth + 1)
+        node.left = self._build(
+            alpha_left, gam_left, child_available, depth + 1,
+            node_key=2 * node_key,
+        )
+        node.right = self._build(
+            alpha_right, gam_right, child_available, depth + 1,
+            node_key=2 * node_key + 1,
+        )
         return node
 
     def _masked_elementwise_product(

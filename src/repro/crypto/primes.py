@@ -70,18 +70,26 @@ def is_probable_prime(n: int, rounds: int = 40) -> bool:
     return all(_miller_rabin_round(n, d, r, w) for w in witnesses)
 
 
-def random_prime(bits: int) -> int:
-    """Return a random prime of exactly ``bits`` bits (top bit set)."""
+def random_prime(bits: int, rng=None) -> int:
+    """Return a random prime of exactly ``bits`` bits (top bit set).
+
+    ``rng`` may be a seeded :class:`random.Random` (anything with
+    ``getrandbits``) for deterministic keygen transcripts — the
+    distributed key generation protocol needs every party's candidate
+    stream to be reproducible from her seed; the default draws from the
+    OS entropy pool.
+    """
     if bits < 2:
         raise ValueError(f"bits must be >= 2, got {bits}")
+    draw = rng.getrandbits if rng is not None else secrets.randbits
     while True:
         # Force the top bit (exact length) and the bottom bit (odd).
-        candidate = secrets.randbits(bits) | (1 << (bits - 1)) | 1
+        candidate = draw(bits) | (1 << (bits - 1)) | 1
         if is_probable_prime(candidate):
             return candidate
 
 
-def random_prime_pair(bits: int) -> tuple[int, int]:
+def random_prime_pair(bits: int, rng=None) -> tuple[int, int]:
     """Return two distinct primes of ``bits // 2`` bits each.
 
     The pair is suitable for a Paillier modulus n = p * q of roughly
@@ -89,8 +97,8 @@ def random_prime_pair(bits: int) -> tuple[int, int]:
     equal bit length, which standard Paillier requires.
     """
     half = bits // 2
-    p = random_prime(half)
+    p = random_prime(half, rng)
     while True:
-        q = random_prime(half)
+        q = random_prime(half, rng)
         if q != p:
             return p, q

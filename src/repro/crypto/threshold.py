@@ -7,32 +7,49 @@ any ciphertext requires all m clients to participate.
 Construction (standard additive-sharing threshold Paillier, as implemented
 by libhcs which the paper uses):
 
-* Key generation chooses d with  d = 0 (mod lambda(n))  and  d = 1 (mod n)
-  (CRT), and splits d additively modulo n * lambda(n) into m shares d_i.
 * Partial decryption of a ciphertext c is  c_i = c^{d_i} mod n^2.
 * Combination multiplies the m partial decryptions:
-      prod_i c_i = c^{sum d_i} = c^d = 1 + m_plain * n (mod n^2),
-  because c^{n * lambda(n)} = 1 for every c in Z*_{n^2}, so the additive
-  masking modulo n*lambda(n) cancels.  The plaintext is recovered with the
-  L-function L(x) = (x - 1) / n.
+      prod_i c_i = c^{sum d_i} = c^d = 1 + m_plain * theta * n (mod n^2),
+  and the plaintext is recovered with the L-function L(x) = (x - 1) / n
+  followed by a multiplication by theta^{-1} mod n.
 
-Key generation is dealer-based (see DESIGN.md §4.6): the paper assumes the
-m clients "jointly generate the keys" without giving a protocol, and its
-implementation (libhcs) likewise uses centralized share generation.
+Two key-generation paths produce the (d_i, theta) material:
+
+* **Dealer (legacy / simulate-mode)** — :func:`generate_threshold_keypair`
+  plays a trusted dealer: it chooses d with  d = 0 (mod lambda(n))  and
+  d = 1 (mod n)  (CRT) and splits d additively modulo n * lambda(n).
+  Here theta = 1 and the dealer retains the CRT private key, which the
+  ``"simulate"`` decrypt mode uses as a single-process shortcut.  This
+  was the seed's only path — a stand-in for the paper's §3.4 "the m
+  clients jointly generate the keys", which libhcs (the paper's
+  implementation) also centralizes.
+* **Distributed (no dealer)** — :mod:`repro.crypto.distkeygen` runs a
+  Boneh–Franklin style m-party protocol over the message bus: the RSA
+  modulus n = (sum p_i)(sum q_i) is generated from per-party prime-share
+  candidates (trial-division sieve on broadcast residues, then a joint
+  biprimality test), and the decryption exponent d = phi(n) * beta is
+  additively shared *by construction* — party i only ever knows
+  (p_i, q_i, beta_i, d_i), so no process ever materializes lambda, mu, p
+  or q.  The public element theta = sum(d_i) mod n (a unit mod n,
+  Damgard–Jurik style) replaces the dealer path's implicit theta = 1:
+  c^{sum d_i} = c^{phi(n) * beta} = 1 + m_plain * theta * n (mod n^2)
+  because c^{phi(n)} = 1 + m_plain' * n with the beta masking folded into
+  theta.  For these federations ``decrypt_mode="combine"`` is the only
+  real mode and :meth:`ThresholdPaillier.scrub_dealer` is a no-op legacy
+  hook — there is nothing to scrub.
 
 Decryption modes (:attr:`ThresholdPaillier.decrypt_mode`):
 
 * ``"combine"`` — the real protocol data flow: every share computes
   c^{d_i} mod n² and the plaintext is reconstructed *only* from the m
-  share values (:func:`combine_partial_decryptions`).  This is the mode a
-  deployment runs after the dealer's withheld key has been scrubbed
-  (:meth:`ThresholdPaillier.scrub_dealer`): with it, the orchestrator
-  provably cannot decrypt alone.
-* ``"simulate"`` — a single-process shortcut: the dealer's retained CRT
-  private key recovers each plaintext with one accelerated decryption
-  instead of m full-size exponentiations.  Bit-identical results and Cd
-  accounting (proof in :meth:`ThresholdPaillier.joint_decrypt_batch`);
-  only wall time differs.
+  share values (:func:`combine_partial_decryptions`).  The only mode a
+  distributed-keygen federation can run, and the mode a dealer-based
+  deployment runs after the dealer's withheld key has been scrubbed.
+* ``"simulate"`` — a single-process shortcut available only on the dealer
+  path: the dealer's retained CRT private key recovers each plaintext
+  with one accelerated decryption instead of m full-size
+  exponentiations.  Bit-identical results and Cd accounting (proof in
+  :meth:`ThresholdPaillier.joint_decrypt_batch`); only wall time differs.
 """
 
 from __future__ import annotations
@@ -148,8 +165,13 @@ def combine_partial_decryptions(
     partials: list[PartialDecryption],
     n_parties: int,
     signed: bool = True,
+    theta: int = 1,
 ) -> int:
     """Combine all m partial decryptions into the plaintext.
+
+    ``theta`` is the public combination element: 1 on the dealer path,
+    and sum(d_i) mod n for distributed keygen (where the combined
+    exponent is phi(n)*beta rather than the CRT-normalized d).
 
     Raises if any share is missing or duplicated — the full threshold
     structure admits no decryption by fewer than m clients.
@@ -165,6 +187,8 @@ def combine_partial_decryptions(
     for partial in partials:
         acc = (acc * partial.value) % public_key.n_squared
     plaintext = ((acc - 1) // public_key.n) % public_key.n
+    if theta != 1:
+        plaintext = plaintext * pow(theta, -1, public_key.n) % public_key.n
     return public_key.to_signed(plaintext) if signed else plaintext
 
 
@@ -173,6 +197,7 @@ def combine_partial_vectors(
     vectors: list,
     n_parties: int,
     signed: bool = True,
+    theta: int = 1,
 ) -> list[int]:
     """Element-wise combination of m per-party share *vectors*.
 
@@ -199,6 +224,7 @@ def combine_partial_vectors(
             [PartialDecryption(v.party_index, v.values[k]) for v in vectors],
             n_parties,
             signed=signed,
+            theta=theta,
         )
         for k in range(count)
     ]
@@ -226,14 +252,25 @@ class ThresholdPaillier:
         shares: list[ThresholdKeyShare | None],
         private_key: PaillierPrivateKey | None = None,
         decrypt_mode: str = "simulate",
+        theta: int = 1,
+        distributed: bool = False,
     ):
         self.public_key = public_key
         self.shares = shares
         self.n_parties = len(shares)
         # Retained for tests/debugging and for the simulate mode's CRT
         # shortcut; scrubbed by deployments, and never part of the real
-        # protocols' message flow.
+        # protocols' message flow.  Always None on the distributed-keygen
+        # path: no such key ever exists anywhere.
         self._private_key = private_key
+        #: Public combination element (1 for the dealer path; sum(d_i) mod
+        #: n for distributed keygen).
+        self.theta = theta
+        #: True when the shares came from the dealer-free protocol — the
+        #: bundle then never held anything to scrub and cannot simulate.
+        self.distributed = distributed
+        if distributed and private_key is not None:
+            raise ValueError("a distributed-keygen bundle has no private key")
         self.decrypt_mode = decrypt_mode
 
     @property
@@ -247,6 +284,12 @@ class ThresholdPaillier:
         if mode not in DECRYPT_MODES:
             raise ValueError(
                 f"decrypt_mode must be one of {DECRYPT_MODES}, got {mode!r}"
+            )
+        if mode == "simulate" and self.distributed:
+            raise ValueError(
+                "decrypt_mode='simulate' needs the dealer's private key; a "
+                "distributed-keygen federation has no such key anywhere — "
+                "'combine' is the only real mode"
             )
         self._decrypt_mode = mode
 
@@ -268,7 +311,24 @@ class ThresholdPaillier:
         :attr:`decrypt_mode` is forced to ``"combine"`` — the only mode
         that still works.  After the scrub this process provably cannot
         decrypt alone: any decryption needs the m−1 remote share vectors.
+
+        On the distributed-keygen path this is a **legacy hook**: the
+        bundle never held a dealer key (there is none anywhere) and
+        ``decrypt_mode`` is already ``"combine"``.  Dropping the non-kept
+        shares still applies when one process hosted several parties'
+        keygen machines (the deployed topology runs all m state machines
+        orchestrator-side for transcript determinism, then provisions each
+        worker her share) — after the scrub those ``d_share`` values live
+        only with their owners.
         """
+        if self.distributed:
+            self.shares = [
+                share
+                if share is not None and share.party_index in keep_shares
+                else None
+                for share in self.shares
+            ]
+            return
         self._private_key = None
         self.shares = [
             share if share is not None and share.party_index in keep_shares else None
@@ -299,7 +359,8 @@ class ThresholdPaillier:
             share.partial_decrypt(ciphertext) for share in self._require_shares()
         ]
         return combine_partial_decryptions(
-            self.public_key, partials, self.n_parties, signed=signed
+            self.public_key, partials, self.n_parties, signed=signed,
+            theta=self.theta,
         )
 
     def joint_decrypt_batch(
@@ -340,7 +401,8 @@ class ThresholdPaillier:
                 for share in self._require_shares()
             ]
             return combine_partial_vectors(
-                self.public_key, vectors, self.n_parties, signed=signed
+                self.public_key, vectors, self.n_parties, signed=signed,
+                theta=self.theta,
             )
         pk = self.public_key
         results = []

@@ -138,8 +138,15 @@ class Federation:
         strict_locality: bool | None,
         transport,
         remote_clients: dict[int, object] | None = None,
+        local_parties: tuple[int, ...] | None = None,
     ) -> None:
-        """Joint setup (§3.4): config, keys, MPC engine, bus, binding."""
+        """Joint setup (§3.4): config, keys, MPC engine, bus, binding.
+
+        ``local_parties`` restricts which parties' inboxes (and, with
+        distributed keygen, key shares) live in this process — the
+        standalone-runtime orchestrator passes only the super client;
+        everything else defaults to all m parties.
+        """
         self.config = _resolve_config(config, strict_locality)
         self.parties = list(parties)
         #: Shared runtime: keys, MPC engine, bus, accounting (§3.4 setup).
@@ -148,6 +155,7 @@ class Federation:
             self.config,
             transport=transport,
             remote_clients=remote_clients,
+            local_parties=local_parties,
         )
         self._bind_parties()
 

@@ -19,15 +19,30 @@ orchestrator's.
 
 from __future__ import annotations
 
+import secrets
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.crypto.encoding import EncryptedNumber
+from repro.crypto.paillier import Ciphertext
 from repro.federation.locality import LocalView, as_party
-from repro.network.wire import PartialDecryptionVector
+from repro.network.wire import PartialDecryptionVector, Request, ShareVector
 
-__all__ = ["Party", "PartyEndpoint", "PartyService"]
+__all__ = [
+    "DECRYPT_TAGS",
+    "Party",
+    "PartyEndpoint",
+    "PartyRuntime",
+    "PartyService",
+]
+
+#: Tags whose ciphertext-batch broadcasts are threshold-decryption requests:
+#: a runtime that pops a list of ciphertexts under one of these tags answers
+#: with her c^{d_i} share vector.  (Other ciphertext-list traffic — split
+#: statistics, prediction vectors — carries its own tags and is consumed
+#: without a reply.)
+DECRYPT_TAGS = frozenset({"threshold-decrypt", "mpc-convert"})
 
 
 @dataclass
@@ -149,6 +164,233 @@ class PartyService:
         vector = self.decryption_shares(batch)
         self.endpoint.broadcast(vector, tag=tag)
         return vector
+
+
+class PartyRuntime(PartyService):
+    """A party's full reactive event loop: every protocol flow she takes
+    part in is a reaction to a message on her own endpoint.
+
+    Generalises :class:`PartyService` (decrypt shares only) to the whole
+    training protocol: the super client *requests* — candidate-split
+    statistics, split application, MPC mask contributions, logistic batch
+    sums and weight updates — and each party *reacts* with her own local
+    computation over her own columns and key material.  The orchestrator
+    stops being the protocol's scheduler; it is one party (the super
+    client) driving her side of request/response flows that the other
+    parties answer on their own event loops.
+
+    The same object serves three deployment shapes:
+
+    * **in-memory / asyncio / process rows** — the flows *pump* each local
+      runtime (:meth:`react` once per pending request) between a request
+      broadcast and the round barrier;
+    * **standalone-runtime row** — ``python -m repro.federation.runtime``
+      runs :meth:`react` in a blocking serve loop against a socket
+      transport; the party answers whenever a frame arrives, with no
+      orchestrator process involved in her computation.
+
+    State: a store of tree-node payloads keyed by heap position (root = 1,
+    children of k at 2k / 2k+1).  ``node-split`` reactions store both
+    children and pop the parent; leaf entries are retained (the store is
+    bounded by the tree's leaf count).  Cross-sender socket ordering is
+    absorbed by :meth:`_await_node`: a handler that needs a node not yet
+    stored keeps reacting to queued messages until it arrives (in-process
+    delivery is FIFO per inbox, so the loop only ever spins over real
+    transports).
+    """
+
+    def __init__(
+        self,
+        endpoint: PartyEndpoint,
+        *,
+        client=None,
+        engine=None,
+        field_q: int | None = None,
+        key_share=None,
+        compute_shares=None,
+        parallel_map=None,
+    ):
+        super().__init__(
+            endpoint,
+            key_share=key_share,
+            compute_shares=compute_shares,
+            parallel_map=parallel_map,
+        )
+        #: The party's PivotClient (her columns + candidate splits); the
+        #: deployed topology passes the RemotePivotClient proxy so feature
+        #: reads keep executing inside the owning worker process.
+        self.client = client
+        #: Her BatchCryptoEngine (shared in-process; her own in standalone).
+        self.engine = engine
+        #: MPC share modulus for mask-contribution reactions.
+        self.field_q = field_q
+        #: node key -> [alpha, gammas-or-None] (decoded ciphertext vectors).
+        self.nodes: dict[int, list] = {}
+
+    # -- event loop --------------------------------------------------------
+
+    def react(self) -> tuple[int, str, object]:
+        """Pop this party's oldest pending message and handle it."""
+        sender, tag, payload = self.endpoint.bus.receive_tagged(self.index)
+        self.handle(sender, tag, payload)
+        return sender, tag, payload
+
+    def handle(self, sender: int, tag: str, payload) -> str:
+        """Dispatch one received message; returns the reaction kind.
+
+        * a :class:`~repro.network.wire.Request` → the matching ``_op_*``
+          handler (unknown ops raise — a protocol error, not data);
+        * a ciphertext batch under a decryption tag → broadcast this
+          party's c^{d_i} share vector (the :class:`PartyService` react);
+        * anything else → consumed without a reply ("sink"): other
+          parties' reply broadcasts, partial-share vectors this party does
+          not combine, prediction traffic.
+        """
+        if isinstance(payload, Request):
+            handler = getattr(
+                self, "_op_" + payload.op.replace("-", "_"), None
+            )
+            if handler is None:
+                raise ValueError(
+                    f"party {self.index}: unknown request op {payload.op!r}"
+                )
+            handler(sender, list(payload.body))
+            return "request"
+        if (
+            tag in DECRYPT_TAGS
+            and isinstance(payload, (list, tuple))
+            and payload
+            and isinstance(payload[0], (Ciphertext, EncryptedNumber))
+        ):
+            vector = self.decryption_shares(list(payload))
+            self.endpoint.broadcast(vector, tag=tag)
+            return "decrypt"
+        return "sink"
+
+    # -- node store --------------------------------------------------------
+
+    def _await_node(self, key: int) -> list:
+        """The node's [alpha, gammas]; reacts to queued messages until the
+        cross-sender message that creates it has been handled."""
+        while key not in self.nodes:
+            self.react()
+        return self.nodes[key]
+
+    def store_node(self, key: int, alpha: list, gammas: list | None) -> None:
+        self.nodes[key] = [list(alpha), gammas if gammas else None]
+
+    def store_split(self, body: list) -> None:
+        """Record a node-split body: store both children, pop the parent."""
+        key, _threshold, alpha_left, alpha_right, gam_left, gam_right = body
+        self.store_node(2 * key, alpha_left, [list(g) for g in gam_left])
+        self.store_node(2 * key + 1, alpha_right, [list(g) for g in gam_right])
+        self.nodes.pop(key, None)
+
+    # -- local computations (also called directly by the super client) -----
+
+    def split_statistics(self, node_key: int, features: list[int]) -> list:
+        """Encrypted split statistics (Eq. 7 / 9) for this party's available
+        features on one node, as a single flat batched fan-out.
+
+        Layout per (feature asc, split asc) identifier:
+        ``[n_left, n_right, (left, right) per gamma vector]`` — the stride
+        contract :class:`~repro.core.gain.SplitStats` unpacks.
+        """
+        alpha, gammas = self._await_node(node_key)
+        if gammas is None:
+            raise RuntimeError(
+                f"party {self.index}: node {node_key} has no label vectors "
+                "yet (missing node-gammas request?)"
+            )
+        tasks: list[tuple[list[int], list]] = []
+        for feature in features:
+            for split in range(self.client.n_splits(feature)):
+                v_left = self.client.indicator(feature, split)
+                v_right = 1 - v_left
+                tasks.append((list(v_left), alpha))
+                tasks.append((list(v_right), alpha))
+                for gamma in gammas:
+                    tasks.append((list(v_left), gamma))
+                    tasks.append((list(v_right), gamma))
+        return self.engine.batch_dot_products(tasks)
+
+    def apply_split(
+        self, node_key: int, feature: int, split: int, ride: int
+    ) -> list:
+        """Model update at the split owner (§4.1): mask [α] (and, when the
+        label vectors ride with alpha, the [γ]s) by the plaintext indicator,
+        broadcast both children, and store them locally.
+
+        Returns the broadcast body ``[key, threshold, alpha_l, alpha_r,
+        gam_l, gam_r]`` — the owner-is-super path uses it directly.
+        """
+        alpha, gammas = self._await_node(node_key)
+        threshold = float(self.client.split_values[feature][split])
+        v_left = self.client.indicator(feature, split)
+        v_right = 1 - v_left
+        alpha_left = self.engine.mask_vector(alpha, v_left)
+        alpha_right = self.engine.mask_vector(alpha, v_right)
+        gam_left: list = []
+        gam_right: list = []
+        if ride:
+            gam_left = [self.engine.mask_vector(g, v_left) for g in gammas]
+            gam_right = [self.engine.mask_vector(g, v_right) for g in gammas]
+        body = [node_key, threshold, alpha_left, alpha_right, gam_left, gam_right]
+        self.endpoint.broadcast(Request("node-split", body), tag="mask-vector")
+        self.store_split(body)
+        return body
+
+    # -- request handlers --------------------------------------------------
+
+    def _op_node_state(self, sender: int, body: list) -> None:
+        key, alpha, gammas = body
+        self.store_node(key, alpha, [list(g) for g in gammas])
+
+    def _op_node_gammas(self, sender: int, body: list) -> None:
+        # The trainer announces node-state before node-gammas (per-sender
+        # FIFO), but a provider driven directly (label-provider API, tests)
+        # may publish gammas for a node never announced — store them under
+        # a placeholder so the flow stays non-blocking either way.
+        key, gammas = body
+        node = self.nodes.setdefault(key, [None, None])
+        node[1] = [list(g) for g in gammas]
+
+    def _op_split_stats(self, sender: int, body: list) -> None:
+        key, available = body
+        stats = self.split_statistics(key, list(available[self.index]))
+        self.endpoint.broadcast(stats, tag="split-stats")
+
+    def _op_split_apply(self, sender: int, body: list) -> None:
+        key, feature, split, ride = body
+        self.apply_split(key, feature, split, ride)
+
+    def _op_node_split(self, sender: int, body: list) -> None:
+        self.store_split(body)
+
+    def _op_convert_masks(self, sender: int, body: list) -> None:
+        """Algorithm 2 lines 1-3, this party's side: sample one mask per
+        value, encrypt with her engine, reply with the mask ciphertexts and
+        her (-r mod q) share vector to the requesting client."""
+        if self.field_q is None:
+            raise RuntimeError(
+                f"party {self.index}: runtime has no MPC field modulus"
+            )
+        masks = [secrets.randbits(bits) for bits in body]
+        mask_cts = self.engine.encrypt_ciphertexts(masks)
+        negated = ShareVector(tuple((-r) % self.field_q for r in masks))
+        self.endpoint.send(sender, [mask_cts, negated], tag="mpc-convert")
+
+    def _op_lr_batch_sums(self, sender: int, body: list) -> None:
+        rows, weights = body
+        partials = self.client.batch_sums(list(rows), list(weights))
+        self.endpoint.send(sender, partials, tag="lr-partial-sum")
+
+    def _op_lr_update(self, sender: int, body: list) -> None:
+        rows, weights, loss_cts, scale = body
+        updated = self.client.weight_update(
+            list(rows), list(weights), list(loss_cts), scale
+        )
+        self.endpoint.send(sender, updated, tag="lr-weights")
 
 
 class Party:

@@ -63,6 +63,7 @@ def cipher_to_share(
     counters: ConversionCounters | None = None,
     bus: MessageBus | None = None,
     services: list | None = None,
+    runtimes: list | None = None,
 ) -> SharedValue:
     """Algorithm 2: convert one ciphertext into a secretly shared value.
 
@@ -71,7 +72,8 @@ def cipher_to_share(
     shares mod q strips the wrap before any secure truncation runs.
     """
     return ciphers_to_shares(
-        [value], threshold, fixed, counters, bus=bus, services=services
+        [value], threshold, fixed, counters, bus=bus, services=services,
+        runtimes=runtimes,
     )[0]
 
 
@@ -83,6 +85,7 @@ def ciphers_to_shares(
     batch_engine=None,
     bus: MessageBus | None = None,
     services: list | None = None,
+    runtimes: list | None = None,
 ) -> list[SharedValue]:
     """Batch Algorithm 2 (the m decryption rounds are batched in practice).
 
@@ -92,19 +95,26 @@ def ciphers_to_shares(
     mask encryptions draw from its obfuscator pool.  Op counts and results
     match the value-at-a-time loop exactly.
 
-    With a ``bus``, the conversion's messages travel as real serialized
-    payloads: clients 2..m each send their vector of mask ciphertexts to
-    client 1 (one round), then the masked batch goes through the canonical
-    threshold-decryption flow (two rounds).  The seed instead broadcast
-    ``ciphertext_bytes * (m−1)`` per value — which the bus fan-out
-    multiplied by (m−1) *again*.
+    With ``runtimes`` (the per-party
+    :class:`~repro.federation.party.PartyRuntime` list) the mask phase is
+    *reactive*: client 1 broadcasts a ``convert-masks`` request with the
+    per-value mask widths, and every other party samples her own masks,
+    encrypts them with *her* engine, and replies with the mask ciphertexts
+    plus her (-r mod q) share vector.  Her sampling and encryption run
+    wherever her runtime lives — in this process when she is local, in her
+    own standalone process otherwise.  (The share vectors travel to the
+    engine host because the MPC layer itself is centrally simulated — the
+    same boundary as :meth:`MPCEngine.input_many` everywhere else.)
+    Without runtimes the legacy central path samples all m masks here,
+    with the same op counts and bus rounds.
 
     With ``services`` (the per-party
     :class:`~repro.federation.party.PartyService` list) and
     ``decrypt_mode="combine"``, the masked plaintexts are reconstructed
     from the m real share vectors the flow moved — each party's c^{d_i}
     exponentiations run under her own authority, and the conversion works
-    even after a deployment scrubbed the dealer key.
+    even after a deployment scrubbed the dealer key (or no dealer ever
+    existed, with distributed keygen).
     """
     if not values:
         return []
@@ -112,42 +122,72 @@ def ciphers_to_shares(
     q = engine.field.q
     m = threshold.n_parties
     pk = threshold.public_key
-    masked_cts = []
-    mask_lists: list[list[int]] = []
+    reactive = bus is not None and runtimes is not None
+    adjusted: list[EncryptedNumber] = []
     extras: list[int] = []
-    mask_cts_by_party: list[list] = [[] for _ in range(m)]
+    bits_list: list[int] = []
     for value in values:
         target_exponent = -fixed.f
         if value.exponent > target_exponent:
             value = value.decrease_exponent_to(target_exponent)
+        adjusted.append(value)
         extra = target_exponent - value.exponent  # >= 0
-        mask_bits = fixed.k + extra + engine.kappa
-        # Every client picks a mask, encrypts it and sends it to client 1
-        # (Algorithm 2 lines 1-3).
-        masks = [secrets.randbits(mask_bits) for _ in range(m)]
-        if batch_engine is not None:
-            mask_cts = batch_engine.encrypt_ciphertexts(masks)
-        else:
-            mask_cts = [pk.encrypt(r) for r in masks]
-        masked_ct = value.ciphertext
-        for mask_ct in mask_cts:
-            masked_ct = masked_ct + mask_ct
-        masked_cts.append(masked_ct)
-        mask_lists.append(masks)
         extras.append(extra)
-        for party, mask_ct in enumerate(mask_cts):
-            mask_cts_by_party[party].append(mask_ct)
+        bits_list.append(fixed.k + extra + engine.kappa)
+    masked_cts = []
+    if reactive:
+        from repro.network.flows import broadcast_request, collect_replies
+
+        # Client 1 requests mask contributions; every other party reacts
+        # with [her mask ciphertexts, her (-r mod q) share vector].
+        broadcast_request(
+            bus, 0, "convert-masks", bits_list, tag="mpc-convert",
+            runtimes=runtimes,
+        )
+        own_masks = [secrets.randbits(bits) for bits in bits_list]
+        if batch_engine is not None:
+            own_cts = batch_engine.encrypt_ciphertexts(own_masks)
+        else:
+            own_cts = [pk.encrypt(r) for r in own_masks]
+        replies = collect_replies(bus, 0, range(1, m))
+        for j, value in enumerate(adjusted):
+            masked_ct = value.ciphertext + own_cts[j]
+            for party in range(1, m):
+                masked_ct = masked_ct + replies[party][0][j]
+            masked_cts.append(masked_ct)
+        bus.round()
+    else:
+        mask_lists: list[list[int]] = []
+        mask_cts_by_party: list[list] = [[] for _ in range(m)]
+        for value, mask_bits in zip(adjusted, bits_list):
+            # Every client picks a mask, encrypts it and sends it to
+            # client 1 (Algorithm 2 lines 1-3).
+            masks = [secrets.randbits(mask_bits) for _ in range(m)]
+            if batch_engine is not None:
+                mask_cts = batch_engine.encrypt_ciphertexts(masks)
+            else:
+                mask_cts = [pk.encrypt(r) for r in masks]
+            masked_ct = value.ciphertext
+            for mask_ct in mask_cts:
+                masked_ct = masked_ct + mask_ct
+            masked_cts.append(masked_ct)
+            mask_lists.append(masks)
+            for party, mask_ct in enumerate(mask_cts):
+                mask_cts_by_party[party].append(mask_ct)
+        if bus is not None:
+            # Clients 2..m send their batched mask ciphertexts to client 1
+            # (Algorithm 2 lines 1-3); client 1's own masks stay local.
+            for party in range(1, m):
+                bus.send_payload(
+                    party, 0, mask_cts_by_party[party], tag="mpc-convert"
+                )
+            bus.round()
     combine = (
         bus is not None
         and services is not None
         and threshold.decrypt_mode == "combine"
     )
     if bus is not None:
-        # Clients 2..m send their batched mask ciphertexts to client 1
-        # (Algorithm 2 lines 1-3); client 1's own masks stay local.
-        for party in range(1, m):
-            bus.send_payload(party, 0, mask_cts_by_party[party], tag="mpc-convert")
-        bus.round()
         if combine:
             vectors = record_threshold_decrypt(
                 bus, masked_cts, tag="mpc-convert", services=services
@@ -159,25 +199,38 @@ def ciphers_to_shares(
     # through the engine's CRT shortcut (fanned out across its workers).
     if combine:
         masked_plains = combine_partial_vectors(
-            pk, vectors, m, signed=True
+            pk, vectors, m, signed=True, theta=threshold.theta
         )
     elif batch_engine is not None:
         masked_plains = batch_engine.threshold_decrypt_batch(masked_cts, signed=True)
     else:
         masked_plains = threshold.joint_decrypt_batch(masked_cts, signed=True)
     results: list[SharedValue] = []
-    for masked_plain, masks, extra in zip(masked_plains, mask_lists, extras):
+    for j, (masked_plain, extra) in enumerate(zip(masked_plains, extras)):
         if counters is not None:
             counters.threshold_decryptions += 1
             counters.to_shares += 1
         # Client 1 sets e - r_1, the others -r_i (lines 6-8).
-        plain = masked_plain - sum(masks)  # == the signed plaintext
-        if engine.authenticated:
-            shared = engine._make_shared(plain % q)
+        if reactive:
+            neg_shares = [int(replies[party][1].values[j]) for party in range(1, m)]
+            if engine.authenticated:
+                shared = engine._make_shared(
+                    (masked_plain - own_masks[j] + sum(neg_shares)) % q
+                )
+            else:
+                share_list = [(masked_plain - own_masks[j]) % q] + [
+                    v % q for v in neg_shares
+                ]
+                shared = SharedValue(engine, tuple(share_list))
         else:
-            share_list = [(-r) % q for r in masks]
-            share_list[0] = (masked_plain - masks[0]) % q
-            shared = SharedValue(engine, tuple(share_list))
+            masks = mask_lists[j]
+            plain = masked_plain - sum(masks)  # == the signed plaintext
+            if engine.authenticated:
+                shared = engine._make_shared(plain % q)
+            else:
+                share_list = [(-r) % q for r in masks]
+                share_list[0] = (masked_plain - masks[0]) % q
+                shared = SharedValue(engine, tuple(share_list))
         # Account the mask broadcast + combine as one communication round.
         engine._record_round(messages=2 * (m - 1), values=m)
         if extra:

@@ -94,12 +94,25 @@ class MessageBus:
         model: NetworkModel | None = None,
         codec: WireCodec | None = None,
         transport: Transport | None = None,
+        local_parties: tuple[int, ...] | None = None,
     ):
         if n_parties < 1:
             raise ValueError("bus needs at least one party")
         self.n_parties = n_parties
         self.model = model or NetworkModel()
         self.codec = codec
+        #: Parties whose inboxes live on *this* bus.  All of them for the
+        #: in-memory / asyncio / deployed topologies (one process hosts
+        #: every inbox); exactly one for a standalone party runtime, whose
+        #: peer transport only binds her own port.  Flows that loop over
+        #: receivers must loop over these, not range(n_parties).
+        self.local_parties: tuple[int, ...] = (
+            tuple(local_parties)
+            if local_parties is not None
+            else tuple(range(n_parties))
+        )
+        for index in self.local_parties:
+            self._check_party(index)
         # Delivery is drain-based: receivers consume their inboxes — either
         # explicitly (receive) or at the next synchronisation round — so the
         # default transport no longer needs a retention cap.
@@ -168,6 +181,45 @@ class MessageBus:
             self.by_tag[tag] += len(data) * count
         return len(data)
 
+    # -- control plane (unaccounted) -----------------------------------------
+
+    def send_control(
+        self, sender: int, receiver: int, payload: object, tag: str
+    ) -> None:
+        """Ship a control-plane message without touching the protocol books.
+
+        The standalone runtime topology needs out-of-band administration —
+        counter snapshots, key-material audits, shutdown — that the other
+        topologies perform over worker pipes or plain method calls.  Those
+        messages are orchestration, not protocol: counting them would make
+        the measured byte/message totals differ across deployment rows for
+        identical protocol runs, which the parity suite pins.  They still
+        travel through the transport (same sockets, same codec) so the
+        standalone shape stays one-connection-per-peer.
+        """
+        self._check_party(sender)
+        self._check_party(receiver)
+        data, _ = self._serialize(payload)
+        self.transport.deliver(Envelope(sender, receiver, tag, data))
+
+    def receive_control(self, party: int) -> tuple[int, str, Any]:
+        """Pop ``party``'s oldest message without counting it as consumed.
+
+        Counterpart of :meth:`send_control`; also used by a runtime's serve
+        loop when the popped message turns out to be control-plane.
+        """
+        if self.codec is None:
+            raise ValueError(
+                "bus was built without a WireCodec; cannot decode payloads"
+            )
+        self.transport.wait_pending(party, 1)
+        envelope = self.transport.peek(party)
+        if envelope is None:
+            raise LookupError(f"no pending message for party {party}")
+        payload = self.codec.deserialize(envelope.data)
+        self.transport.poll(party)
+        return envelope.sender, envelope.tag, payload
+
     # -- drain-based receiving ----------------------------------------------
 
     def receive(self, party: int, tag: str | None = None) -> Any:
@@ -207,6 +259,68 @@ class MessageBus:
         self.consumed += 1
         return payload
 
+    def receive_any(self, party: int, tag: str | None = None) -> tuple[int, Any]:
+        """Like :meth:`receive`, but also return who sent the message.
+
+        The reactive flows collect replies that may arrive in any
+        cross-sender order (per-sender order is still FIFO); keying the
+        result by the envelope's sender lets the collector reassemble
+        party order without requiring global delivery order.
+        """
+        if self.codec is None:
+            raise ValueError(
+                "bus was built without a WireCodec; cannot decode payloads"
+            )
+        self.transport.wait_pending(party, 1)
+        envelope = self.transport.peek(party)
+        if envelope is None:
+            raise LookupError(f"no pending message for party {party}")
+        if tag is not None and envelope.tag != tag:
+            raise ValueError(
+                f"party {party} expected a {tag!r} message but the oldest "
+                f"pending one is tagged {envelope.tag!r}"
+            )
+        payload = self.codec.deserialize(envelope.data)
+        self.transport.poll(party)
+        self.consumed += 1
+        return envelope.sender, payload
+
+    def receive_tagged(self, party: int) -> tuple[int, str, Any]:
+        """Pop ``party``'s oldest message, returning ``(sender, tag, payload)``.
+
+        The event-loop receive: a reactive party runtime (and the
+        distributed-keygen driver) does not know what arrives next — it
+        dispatches on the envelope's tag and the payload's shape.  No tag
+        validation is performed; the caller owns the dispatch.
+        """
+        if self.codec is None:
+            raise ValueError(
+                "bus was built without a WireCodec; cannot decode payloads"
+            )
+        self.transport.wait_pending(party, 1)
+        envelope = self.transport.peek(party)
+        if envelope is None:
+            raise LookupError(f"no pending message for party {party}")
+        payload = self.codec.deserialize(envelope.data)
+        self.transport.poll(party)
+        self.consumed += 1
+        return envelope.sender, envelope.tag, payload
+
+    def receive_raw(self, party: int):
+        """Pop ``party``'s oldest envelope *undecoded* (or None).
+
+        Used by the deployed topology's runtime bridge: the orchestrator
+        ships the raw envelope over the worker pipe and the worker-side
+        runtime deserializes it with *her own* codec — the bytes cross
+        into the party's authority exactly as they left the wire.
+        """
+        self._check_party(party)
+        self.transport.flush()
+        envelope = self.transport.poll(party)
+        if envelope is not None:
+            self.consumed += 1
+        return envelope
+
     def drain(self, party: int | None = None) -> int:
         """Pop all pending messages (one party, or everyone) undecoded.
 
@@ -217,7 +331,7 @@ class MessageBus:
         mistaken for empty inboxes.
         """
         self.transport.flush()
-        parties = range(self.n_parties) if party is None else (party,)
+        parties = self.local_parties if party is None else (party,)
         count = 0
         for receiver in parties:
             while self.transport.poll(receiver) is not None:
@@ -233,14 +347,14 @@ class MessageBus:
 
     def pending_total(self) -> int:
         self.transport.flush()
-        return sum(self.transport.pending(p) for p in range(self.n_parties))
+        return sum(self.transport.pending(p) for p in self.local_parties)
 
     def assert_drained(self) -> None:
-        """Every inbox must be empty (end-of-training invariant)."""
+        """Every local inbox must be empty (end-of-training invariant)."""
         self.transport.flush()
         pending = {
             p: self.transport.pending(p)
-            for p in range(self.n_parties)
+            for p in self.local_parties
             if self.transport.pending(p)
         }
         if pending:

@@ -34,10 +34,149 @@ is fixed-width, so simulate and combine runs measure identical bytes.
 
 from __future__ import annotations
 
-from repro.network.bus import MessageBus
-from repro.network.wire import PartialDecryptionVector
+from collections import deque
 
-__all__ = ["record_threshold_decrypt"]
+from repro.network.bus import MessageBus
+from repro.network.wire import PartialDecryptionVector, Request
+
+__all__ = [
+    "broadcast_request",
+    "collect_replies",
+    "react_runtimes",
+    "record_threshold_decrypt",
+    "run_distributed_keygen",
+]
+
+
+# ---------------------------------------------------------------------------
+# reactive request/response flows
+# ---------------------------------------------------------------------------
+
+
+def react_runtimes(runtimes, exclude=()) -> None:
+    """Pump each local runtime through exactly one reaction.
+
+    The in-process half of a request flow: after the requesting party
+    broadcasts, every *local* runtime has exactly one pending message (the
+    request — per-inbox delivery is FIFO, so earlier-pumped parties' reply
+    broadcasts queue behind it) and one :meth:`PartyRuntime.react` handles
+    it.  ``None`` entries are parties living in their own standalone
+    process — their serve loops react to the same bytes on their own
+    clock, so there is nothing to pump here.
+    """
+    for runtime in runtimes:
+        if runtime is None or runtime.index in exclude:
+            continue
+        runtime.react()
+
+
+def broadcast_request(
+    bus: MessageBus, sender: int, op: str, body, tag: str, runtimes=None
+) -> None:
+    """Broadcast ``Request(op, body)`` and pump the local responders."""
+    # pivotlint: disable=PL005 -- request/collect primitive: the calling flow owns the round barrier after replies land
+    bus.broadcast_payload(sender, Request(op, body), tag=tag)
+    if runtimes is not None:
+        react_runtimes(runtimes, exclude=(sender,))
+
+
+def collect_replies(bus: MessageBus, receiver: int, senders) -> dict:
+    """Receive one reply per expected sender, keyed by actual sender.
+
+    Arrival order is deterministic in-process (pump order) but not over
+    sockets — replies are keyed by the envelope's sender, never by
+    position.
+    """
+    replies: dict[int, object] = {}
+    expected = set(senders)
+    for _ in range(len(expected)):
+        sender, payload = bus.receive_any(receiver)
+        if sender not in expected:
+            raise ValueError(
+                f"party {receiver} received a reply from unexpected "
+                f"party {sender}"
+            )
+        if sender in replies:
+            raise ValueError(
+                f"party {receiver} received two replies from party {sender}"
+            )
+        replies[sender] = payload
+    return replies
+
+
+# ---------------------------------------------------------------------------
+# distributed key generation (§3.4 without the dealer)
+# ---------------------------------------------------------------------------
+
+
+def run_distributed_keygen(bus: MessageBus, machines: dict) -> dict:
+    """Drive the m-party Paillier keygen protocol over the bus.
+
+    ``machines`` maps each *local* party index to her
+    :class:`~repro.crypto.distkeygen.KeygenParty` state machine.  Every
+    ``KeygenMessage`` a machine emits is sent as a real serialized payload
+    from that party's endpoint (receiver ``-1`` broadcasts); every received
+    frame is fed back into the addressed machine.  A single-process
+    deployment passes all m machines and the protocol completes without
+    blocking; a standalone party passes only her own machine and blocks on
+    her socket inbox whenever she is waiting on remote waves (a stalled
+    peer surfaces as the transport's flush timeout, never a silent hang).
+
+    Returns ``{index: KeygenResult}`` for the local machines and applies
+    the protocol's round count to this bus (lowest-index local machine's
+    tally — all machines agree on it by construction).
+    """
+    if not machines:
+        raise ValueError("no local keygen machines to run")
+    outbox: deque = deque()
+
+    def flush() -> None:
+        while outbox:
+            sender, message = outbox.popleft()
+            if message.receiver < 0:
+                # pivotlint: disable=PL005 -- inner pump of the keygen loop; run_distributed_keygen ends with bus.round(rounds)
+                bus.broadcast_payload(sender, message.payload, tag=message.tag)
+            else:
+                bus.send_payload(
+                    sender, message.receiver, message.payload, tag=message.tag
+                )
+
+    order = sorted(machines)
+    for index in order:
+        for message in machines[index].start():
+            outbox.append((index, message))
+    while True:
+        flush()
+        if all(machines[index].done for index in order):
+            break
+        progressed = False
+        for index in order:
+            machine = machines[index]
+            while not machine.done and bus.pending(index):
+                sender, tag, payload = bus.receive_tagged(index)
+                for message in machine.receive(sender, tag, payload):
+                    outbox.append((index, message))
+                progressed = True
+        if progressed or outbox:
+            continue
+        # Every local machine is waiting on remote input: block on the
+        # first unfinished party's inbox (socket transports raise their
+        # flush timeout if a peer stalls; in-process runs never get here).
+        index = next(i for i in order if not machines[i].done)
+        sender, tag, payload = bus.receive_tagged(index)
+        for message in machines[index].receive(sender, tag, payload):
+            outbox.append((index, message))
+    # Defensive drain: the waves are strictly synchronous, so a finished
+    # machine should have an empty inbox — feed any straggler back anyway
+    # (done machines consume and emit nothing) so the protocol phase ends
+    # with clean inboxes.
+    for index in order:
+        while bus.pending(index):
+            sender, tag, payload = bus.receive_tagged(index)
+            machines[index].receive(sender, tag, payload)
+    results = {index: machines[index].result for index in order}
+    bus.round(results[order[0]].rounds)
+    return results
 
 
 def record_threshold_decrypt(
@@ -81,6 +220,11 @@ def record_threshold_decrypt(
     if count == 0:
         return [] if (partials is not None or services is not None) else None
     m = bus.n_parties
+    local = bus.local_parties
+    if holder not in local:
+        raise ValueError(
+            f"decryption holder {holder} is not a local party of this bus"
+        )
     if partials is not None and services is not None:
         raise ValueError("pass precomputed partials or services, not both")
     if partials is not None and len(partials) != m:
@@ -92,12 +236,15 @@ def record_threshold_decrypt(
     bus.broadcast_payload(holder, list(ciphertexts), tag=tag)
     collected: dict[int, PartialDecryptionVector] = {}
     if services is not None:
-        # Reactive data flow: each non-holder party's service receives the
-        # batch from her own inbox, exponentiates with her d_i, and
-        # broadcasts the real share vector; the holder publishes hers from
-        # the batch in hand.
-        for party in range(m):
-            if party == holder:
+        # Reactive data flow: each non-holder *local* party's service
+        # receives the batch from her own inbox, exponentiates with her
+        # d_i, and broadcasts the real share vector; the holder publishes
+        # hers from the batch in hand.  Parties living in their own
+        # standalone process have no service here (``None``) — their serve
+        # loops react to the same ciphertext broadcast on their own clock
+        # and their vectors arrive below like everyone else's.
+        for party in local:
+            if party == holder or services[party] is None:
                 continue
             services[party].answer_decrypt(tag, count)
         collected[holder] = services[holder].publish_shares(ciphertexts, tag)
@@ -105,7 +252,7 @@ def record_threshold_decrypt(
         # Drain-based delivery: every other client *receives* the batch —
         # the wire bytes are decoded back into ciphertext objects, so the
         # broadcast is data flow, not just accounting.
-        for party in range(m):
+        for party in local:
             if party == holder:
                 continue
             received = bus.receive(party, tag=tag)
@@ -114,7 +261,7 @@ def record_threshold_decrypt(
                     f"party {party} received {len(received)} ciphertexts, "
                     f"expected {count}"
                 )
-        for party in range(m):
+        for party in local:
             if partials is not None:
                 vector = partials[party]
                 if len(vector.values) != count:
@@ -123,10 +270,12 @@ def record_threshold_decrypt(
             else:
                 vector = PartialDecryptionVector(party, (0,) * count)
             bus.broadcast_payload(party, vector, tag=tag)
-    # Every client receives the other m-1 partial-share vectors and checks
-    # the batch shape before combining locally; the holder's received set
-    # (plus her own vector) is what the caller combines from.
-    for party in range(m):
+    # Every local client receives the other m-1 partial-share vectors and
+    # checks the batch shape before combining locally; the holder's
+    # received set (plus her own vector) is what the caller combines from.
+    # Vectors are keyed by their embedded party index — over sockets the
+    # m-1 senders' arrival order is not deterministic.
+    for party in local:
         for _ in range(m - 1):
             vector = bus.receive(party, tag=tag)
             if not isinstance(vector, PartialDecryptionVector) or len(

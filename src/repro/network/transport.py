@@ -49,6 +49,7 @@ __all__ = [
     "TransportOverflowError",
     "InMemoryTransport",
     "AsyncioTransport",
+    "PeerTransport",
     "encode_frame",
     "decode_frame",
     "make_transport",
@@ -482,6 +483,282 @@ class AsyncioTransport(Transport):
         for task in stale:
             task.cancel()
         await asyncio.gather(*stale, return_exceptions=True)
+
+    def __del__(self) -> None:
+        try:
+            if not self._closed and self._loop.is_running():
+                self.close()
+        except Exception:
+            pass
+
+
+class PeerTransport(Transport):
+    """One party's transport in a multi-process full-mesh deployment.
+
+    Where :class:`AsyncioTransport` hosts all m inboxes in one process,
+    a :class:`PeerTransport` is what one *standalone* party runs: it binds
+    **only her own** listening port (``addresses[index]``) and opens one
+    outgoing TCP connection per peer, lazily, from the shared address
+    book.  Frames use the exact :func:`encode_frame` layout, so a peer
+    cannot tell whether the other end is an AsyncioTransport hosting
+    everyone or another PeerTransport hosting one party.
+
+    Start-order independence: peers come up whenever their processes do,
+    so ``deliver`` retries a refused connection until ``connect_timeout``
+    elapses before giving up.  A connection that later breaks (peer
+    crashed, or was restarted) is dropped and re-dialed once per send —
+    a restarted peer listening on the same address resumes receiving
+    without any orchestrator-side plumbing.
+
+    Failure semantics at the synchronisation seam: ``wait_pending``
+    returns ``False`` once ``timeout`` elapses with no frame, and the
+    bus's receive turns that into a :class:`LookupError` — a killed peer
+    therefore surfaces as a clear error at the next protocol barrier,
+    never a silent hang.  ``flush`` only covers the outgoing half (every
+    ``deliver`` has been written and drained to the socket); whether a
+    *peer* processed her mail is unknowable here, which is exactly the
+    deployment reality the in-process transports paper over.
+    """
+
+    def __init__(
+        self,
+        n_parties: int,
+        index: int,
+        addresses: list[tuple[str, int]],
+        capacity: int | None = None,
+        timeout: float = 60.0,
+        connect_timeout: float = 30.0,
+    ):
+        if n_parties < 2:
+            raise ValueError("a peer transport needs at least two parties")
+        if not 0 <= index < n_parties:
+            raise ValueError(f"party index {index} out of range")
+        if len(addresses) != n_parties:
+            raise ValueError(
+                f"address book has {len(addresses)} entries for "
+                f"{n_parties} parties"
+            )
+        self.n_parties = n_parties
+        self.index = index
+        self.addresses = [(str(h), int(p)) for h, p in addresses]
+        self.capacity = capacity
+        self.timeout = timeout
+        self.connect_timeout = connect_timeout
+        self.delivered = 0
+        self.dropped = 0
+        self._inbox: deque[Envelope] = deque()
+        self._cond = threading.Condition()
+        self._failure: Exception | None = None
+        self._closed = False
+        self._server: asyncio.AbstractServer | None = None
+        self._writers: dict[int, asyncio.StreamWriter] = {}
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._run_loop, name=f"peer-transport-{index}", daemon=True
+        )
+        self._thread.start()
+        self.port: int = self._call(self._start_server())
+
+    # -- event loop plumbing ------------------------------------------------
+
+    def _run_loop(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_forever()
+
+    def _call(self, coroutine: Coroutine[Any, Any, Any]) -> Any:
+        future = asyncio.run_coroutine_threadsafe(coroutine, self._loop)
+        return future.result(self.timeout + self.connect_timeout)
+
+    async def _start_server(self) -> int:
+        host, port = self.addresses[self.index]
+        self._server = await asyncio.start_server(self._handle_peer, host, port)
+        return self._server.sockets[0].getsockname()[1]
+
+    async def _handle_peer(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                prefix = await reader.readexactly(_LENGTH.size)
+                (length,) = _LENGTH.unpack(prefix)
+                body = await reader.readexactly(length)
+                self._enqueue(decode_frame(body))
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            pass  # peer closed (or died); her next connection gets a fresh task
+        except asyncio.CancelledError:
+            pass
+        finally:
+            writer.close()
+
+    def _enqueue(self, envelope: Envelope) -> None:
+        with self._cond:
+            if self.capacity is not None and len(self._inbox) >= self.capacity:
+                self.dropped += 1
+                self._failure = TransportOverflowError(
+                    f"inbox of party {self.index} is full "
+                    f"(capacity={self.capacity}); a protocol message was "
+                    f"refused"
+                )
+            else:
+                self._inbox.append(envelope)
+                self.delivered += 1
+            self._cond.notify_all()
+
+    async def _connect(self, peer: int) -> asyncio.StreamWriter:
+        """Dial a peer, retrying refused connections until the deadline.
+
+        Peers start on their own schedule; a refused connection usually
+        means "not up yet", so keep knocking instead of failing the run
+        on process start order.
+        """
+        host, port = self.addresses[peer]
+        deadline = self._loop.time() + self.connect_timeout
+        while True:
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                # Outgoing connections are one-way: the peer never writes
+                # back on them, so a completed read can only mean EOF (the
+                # peer exited or was restarted).  Watching for it drops the
+                # dead writer *before* the next send would write into a
+                # half-closed socket and silently lose the frame — the
+                # next deliver re-dials and reaches the restarted peer.
+                asyncio.ensure_future(self._watch_peer(peer, reader, writer))
+                return writer
+            except OSError as exc:
+                if self._loop.time() >= deadline:
+                    raise TimeoutError(
+                        f"party {self.index} could not reach peer {peer} at "
+                        f"{host}:{port} within {self.connect_timeout:.1f}s"
+                    ) from exc
+                await asyncio.sleep(0.1)
+
+    async def _watch_peer(
+        self,
+        peer: int,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            await reader.read(1)
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            pass
+        if self._writers.get(peer) is writer:
+            del self._writers[peer]
+        writer.close()
+
+    async def _send(self, envelope: Envelope) -> None:
+        peer = envelope.receiver
+        frame = encode_frame(envelope)
+        writer = self._writers.get(peer)
+        if writer is not None:
+            try:
+                writer.write(frame)
+                await writer.drain()
+                return
+            except (ConnectionError, OSError):
+                # Peer went away since the last send; drop the dead
+                # connection and re-dial below (she may have restarted).
+                writer.close()
+                del self._writers[peer]
+        writer = await self._connect(peer)
+        self._writers[peer] = writer
+        writer.write(frame)
+        await writer.drain()
+
+    # -- Transport interface ------------------------------------------------
+
+    def _check_receiver(self, receiver: int) -> None:
+        if receiver != self.index:
+            raise ValueError(
+                f"party {receiver}'s inbox is not hosted here (this is "
+                f"party {self.index}'s peer transport)"
+            )
+
+    def _check_failure(self) -> None:
+        if self._failure is not None:
+            raise self._failure
+
+    def deliver(self, envelope: Envelope) -> None:
+        if not 0 <= envelope.receiver < self.n_parties:
+            raise ValueError(f"party index {envelope.receiver} out of range")
+        if self._closed:
+            raise RuntimeError("transport is closed")
+        self._check_failure()
+        if envelope.receiver == self.index:
+            # A flow impersonating another sender toward this party (the
+            # prediction round-robin does this orchestrator-side) loops
+            # straight into the local inbox; no socket is involved.
+            self._enqueue(envelope)
+            return
+        self._call(self._send(envelope))
+
+    def poll(self, receiver: int) -> Envelope | None:
+        self._check_receiver(receiver)
+        with self._cond:
+            self._check_failure()
+            return self._inbox.popleft() if self._inbox else None
+
+    def peek(self, receiver: int) -> Envelope | None:
+        self._check_receiver(receiver)
+        with self._cond:
+            self._check_failure()
+            return self._inbox[0] if self._inbox else None
+
+    def pending(self, receiver: int) -> int:
+        self._check_receiver(receiver)
+        with self._cond:
+            return len(self._inbox)
+
+    def wait_pending(
+        self, receiver: int, count: int = 1, timeout: float | None = None
+    ) -> bool:
+        self._check_receiver(receiver)
+        deadline = self.timeout if timeout is None else timeout
+        with self._cond:
+            satisfied = self._cond.wait_for(
+                lambda: self._failure is not None or len(self._inbox) >= count,
+                timeout=deadline,
+            )
+            self._check_failure()
+            return satisfied
+
+    def flush(self, timeout: float | None = None) -> None:
+        # Outgoing frames are written and drained synchronously inside
+        # deliver(); incoming arrival at *peers* is not observable from
+        # this process, so there is nothing further to wait on.
+        self._check_failure()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._call(self._shutdown())
+        except Exception:
+            pass
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(self.timeout)
+        self._loop.close()
+
+    async def _shutdown(self) -> None:
+        for writer in self._writers.values():
+            writer.close()
+        self._writers.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        current = asyncio.current_task()
+        stale = [t for t in asyncio.all_tasks() if t is not current]
+        for task in stale:
+            task.cancel()
+        await asyncio.gather(*stale, return_exceptions=True)
+
+    def snapshot(self) -> dict[str, object]:
+        base = super().snapshot()
+        base["party"] = self.index
+        base["port"] = self.port
+        return base
 
     def __del__(self) -> None:
         try:

@@ -21,6 +21,9 @@ tag   payload                  body
 0x05  ``ShareVector``          count (uint32) + field elements (``share_width``)
 0x06  ``list`` / ``tuple``     count (uint32) + serialized items (recursive)
 0x07  ``bytes``                length (uint32) + raw blob
+0x08  ``int``                  sign (uint8) + length (uint32) + magnitude
+0x09  ``Request``              op length (uint8) + op (utf-8) + body (recursive)
+0x0A  ``float``                IEEE-754 double, 8 bytes
 ====  =======================  ==========================================
 
 Big ints are encoded **fixed-width**: ciphertexts and partial decryptions
@@ -32,10 +35,19 @@ serialized size a pure function of the payload *shape*, so
 arithmetic alone; the bus records both and ``cost_snapshot()`` reconciles
 them (measured == estimated is asserted by the wire property tests and by
 the end-to-end reconciliation test on real training runs).
+
+The bare-``int`` (0x08), :class:`Request` (0x09) and ``float`` (0x0A)
+types are *key-independent*: they serialize without a bound public key.
+Distributed key generation runs over the bus **before** any Paillier key
+exists, so a codec may be constructed with ``public_key=None`` and bound
+later (:meth:`WireCodec.bind`) once the keygen flow has produced pk —
+until then only the key-independent types serialize and everything else
+raises :class:`WireFormatError`.
 """
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
 from typing import Any
 
@@ -44,6 +56,7 @@ from repro.crypto.paillier import Ciphertext, PaillierPublicKey
 from repro.crypto.threshold import PartialDecryption
 
 __all__ = [
+    "Request",
     "ShareVector",
     "PartialDecryptionVector",
     "WireCodec",
@@ -57,18 +70,40 @@ _TAG_PARTIAL_VECTOR = 0x04
 _TAG_SHARES = 0x05
 _TAG_VECTOR = 0x06
 _TAG_BYTES = 0x07
+_TAG_INT = 0x08
+_TAG_REQUEST = 0x09
+_TAG_FLOAT = 0x0A
 
 #: Framing sizes (bytes): type tag, element count, fixed-point exponent
-#: (signed), party index, raw-blob length.
+#: (signed), party index, raw-blob length, int sign, request-op length,
+#: IEEE-754 double.
 TAG_BYTES = 1
 COUNT_BYTES = 4
 EXPONENT_BYTES = 4
 PARTY_BYTES = 2
 LENGTH_BYTES = 4
+SIGN_BYTES = 1
+OP_LEN_BYTES = 1
+FLOAT_BYTES = 8
 
 
 class WireFormatError(ValueError):
     """A payload cannot be serialized, or a byte stream cannot be parsed."""
+
+
+@dataclass(frozen=True)
+class Request:
+    """A reactive-flow request: the super client asks a party to act.
+
+    ``op`` names the handler a :class:`~repro.federation.party.PartyRuntime`
+    dispatches to (e.g. ``"split-stats"``, ``"convert-masks"``); ``body``
+    is any serializable payload carrying the operands.  Requests are
+    key-independent so the keygen bootstrap flow can use them before a
+    public key exists.
+    """
+
+    op: str
+    body: Any = ()
 
 
 @dataclass(frozen=True)
@@ -110,35 +145,68 @@ class WireCodec:
 
     def __init__(
         self,
-        public_key: PaillierPublicKey,
+        public_key: PaillierPublicKey | None,
         share_modulus: int | None = None,
         encoder: PaillierEncoder | None = None,
     ):
-        self.public_key = public_key
-        #: Fixed ciphertext width: 2 * ceil(n_bits / 8) bytes holds any
-        #: element of Z_{n²} and matches the protocol-spec formula.
-        self.ciphertext_width = 2 * ((public_key.n.bit_length() + 7) // 8)
+        self.public_key = None
+        self.ciphertext_width: int | None = None
+        self.encoder = None
         self.share_modulus = share_modulus
         self.share_width = (
             (share_modulus.bit_length() + 7) // 8 if share_modulus else None
         )
+        if public_key is not None:
+            self.bind(public_key, encoder)
+        elif encoder is not None:
+            raise WireFormatError("encoder without a public key")
+
+    def bind(
+        self,
+        public_key: PaillierPublicKey,
+        encoder: PaillierEncoder | None = None,
+    ) -> None:
+        """Attach key material once keygen has produced it.
+
+        A codec built with ``public_key=None`` (the distributed-keygen
+        bootstrap) only handles key-independent payloads until bound.
+        """
+        self.public_key = public_key
+        #: Fixed ciphertext width: 2 * ceil(n_bits / 8) bytes holds any
+        #: element of Z_{n²} and matches the protocol-spec formula.
+        self.ciphertext_width = 2 * ((public_key.n.bit_length() + 7) // 8)
         self.encoder = encoder or PaillierEncoder(public_key)
 
     # -- sizes (the corrected byte formulas) -------------------------------
 
     def estimate(self, payload: object) -> int:
         """Exact serialized size, computed without serializing."""
-        w = self.ciphertext_width
         if isinstance(payload, Ciphertext):
-            return TAG_BYTES + w
+            return TAG_BYTES + self._cipher_width()
         if isinstance(payload, EncryptedNumber):
-            return TAG_BYTES + EXPONENT_BYTES + w
+            return TAG_BYTES + EXPONENT_BYTES + self._cipher_width()
         if isinstance(payload, PartialDecryption):
-            return TAG_BYTES + PARTY_BYTES + w
+            return TAG_BYTES + PARTY_BYTES + self._cipher_width()
         if isinstance(payload, PartialDecryptionVector):
-            return TAG_BYTES + PARTY_BYTES + COUNT_BYTES + len(payload.values) * w
+            return (
+                TAG_BYTES
+                + PARTY_BYTES
+                + COUNT_BYTES
+                + len(payload.values) * self._cipher_width()
+            )
         if isinstance(payload, ShareVector):
             return TAG_BYTES + COUNT_BYTES + len(payload.values) * self._share_width()
+        if isinstance(payload, Request):
+            op = payload.op.encode("utf-8")
+            return (
+                TAG_BYTES + OP_LEN_BYTES + len(op) + self.estimate(payload.body)
+            )
+        if isinstance(payload, bool):
+            raise WireFormatError("bool payloads are ambiguous on the wire")
+        if isinstance(payload, int):
+            return TAG_BYTES + SIGN_BYTES + LENGTH_BYTES + _int_width(payload)
+        if isinstance(payload, float):
+            return TAG_BYTES + FLOAT_BYTES
         if isinstance(payload, (list, tuple)):
             return TAG_BYTES + COUNT_BYTES + sum(self.estimate(p) for p in payload)
         if isinstance(payload, bytes):
@@ -153,13 +221,14 @@ class WireCodec:
         return bytes(out)
 
     def _write(self, out: bytearray, payload: object) -> None:
-        w = self.ciphertext_width
         if isinstance(payload, Ciphertext):
+            w = self._cipher_width()
             if payload.public_key != self.public_key:
                 raise WireFormatError("ciphertext under a different public key")
             out.append(_TAG_CIPHERTEXT)
             out += self._big(payload.raw, w)
         elif isinstance(payload, EncryptedNumber):
+            w = self._cipher_width()
             if payload.ciphertext.public_key != self.public_key:
                 raise WireFormatError("ciphertext under a different public key")
             out.append(_TAG_ENCRYPTED_NUMBER)
@@ -168,13 +237,33 @@ class WireCodec:
         elif isinstance(payload, PartialDecryption):
             out.append(_TAG_PARTIAL)
             out += payload.party_index.to_bytes(PARTY_BYTES, "big")
-            out += self._big(payload.value, w)
+            out += self._big(payload.value, self._cipher_width())
         elif isinstance(payload, PartialDecryptionVector):
+            w = self._cipher_width()
             out.append(_TAG_PARTIAL_VECTOR)
             out += payload.party_index.to_bytes(PARTY_BYTES, "big")
             out += len(payload.values).to_bytes(COUNT_BYTES, "big")
             for value in payload.values:
                 out += self._big(value, w)
+        elif isinstance(payload, Request):
+            op = payload.op.encode("utf-8")
+            if len(op) > 255:
+                raise WireFormatError(f"request op too long: {payload.op!r}")
+            out.append(_TAG_REQUEST)
+            out.append(len(op))
+            out += op
+            self._write(out, payload.body)
+        elif isinstance(payload, bool):
+            raise WireFormatError("bool payloads are ambiguous on the wire")
+        elif isinstance(payload, int):
+            width = _int_width(payload)
+            out.append(_TAG_INT)
+            out.append(1 if payload < 0 else 0)
+            out += width.to_bytes(LENGTH_BYTES, "big")
+            out += abs(payload).to_bytes(width, "big")
+        elif isinstance(payload, float):
+            out.append(_TAG_FLOAT)
+            out += struct.pack(">d", payload)
         elif isinstance(payload, ShareVector):
             sw = self._share_width()
             out.append(_TAG_SHARES)
@@ -208,11 +297,12 @@ class WireCodec:
     def _read(self, view: memoryview, offset: int) -> tuple[Any, int]:
         tag = self._take_int(view, offset, TAG_BYTES)
         offset += TAG_BYTES
-        w = self.ciphertext_width
         if tag == _TAG_CIPHERTEXT:
+            w = self._cipher_width()
             raw = self._take_int(view, offset, w)
             return Ciphertext(self.public_key, raw), offset + w
         if tag == _TAG_ENCRYPTED_NUMBER:
+            w = self._cipher_width()
             exponent = int.from_bytes(
                 view[offset : offset + EXPONENT_BYTES], "big", signed=True
             )
@@ -221,11 +311,13 @@ class WireCodec:
             ct = Ciphertext(self.public_key, raw)
             return EncryptedNumber(self.encoder, ct, exponent), offset + w
         if tag == _TAG_PARTIAL:
+            w = self._cipher_width()
             party = self._take_int(view, offset, PARTY_BYTES)
             offset += PARTY_BYTES
             value = self._take_int(view, offset, w)
             return PartialDecryption(party, value), offset + w
         if tag == _TAG_PARTIAL_VECTOR:
+            w = self._cipher_width()
             party = self._take_int(view, offset, PARTY_BYTES)
             offset += PARTY_BYTES
             count = self._take_int(view, offset, COUNT_BYTES)
@@ -235,6 +327,31 @@ class WireCodec:
                 values.append(self._take_int(view, offset, w))
                 offset += w
             return PartialDecryptionVector(party, tuple(values)), offset
+        if tag == _TAG_INT:
+            sign = self._take_int(view, offset, SIGN_BYTES)
+            offset += SIGN_BYTES
+            width = self._take_int(view, offset, LENGTH_BYTES)
+            offset += LENGTH_BYTES
+            magnitude = self._take_int(view, offset, width)
+            if sign not in (0, 1) or (sign and magnitude == 0):
+                raise WireFormatError("malformed signed integer")
+            return (-magnitude if sign else magnitude), offset + width
+        if tag == _TAG_REQUEST:
+            op_len = self._take_int(view, offset, OP_LEN_BYTES)
+            offset += OP_LEN_BYTES
+            if offset + op_len > len(view):
+                raise WireFormatError("truncated request op")
+            op = bytes(view[offset : offset + op_len]).decode("utf-8")
+            offset += op_len
+            body, offset = self._read(view, offset)
+            return Request(op, body), offset
+        if tag == _TAG_FLOAT:
+            if offset + FLOAT_BYTES > len(view):
+                raise WireFormatError("truncated float payload")
+            (value,) = struct.unpack(
+                ">d", bytes(view[offset : offset + FLOAT_BYTES])
+            )
+            return value, offset + FLOAT_BYTES
         if tag == _TAG_SHARES:
             sw = self._share_width()
             count = self._take_int(view, offset, COUNT_BYTES)
@@ -262,6 +379,14 @@ class WireCodec:
 
     # -- helpers -----------------------------------------------------------
 
+    def _cipher_width(self) -> int:
+        if self.ciphertext_width is None:
+            raise WireFormatError(
+                "codec is not bound to a public key yet (distributed keygen "
+                "in progress); only key-independent payloads are available"
+            )
+        return self.ciphertext_width
+
     def _share_width(self) -> int:
         if self.share_width is None:
             raise WireFormatError(
@@ -286,3 +411,8 @@ class WireCodec:
         if offset + width > len(view):
             raise WireFormatError("truncated payload")
         return int.from_bytes(view[offset : offset + width], "big")
+
+
+def _int_width(value: int) -> int:
+    """Minimal byte width of a bare int's magnitude (>= 1)."""
+    return max(1, (abs(value).bit_length() + 7) // 8)

@@ -198,6 +198,65 @@ def test_pl002_flags_public_return_of_secret_derivation(tmp_path):
     assert rules_found(report) == ["PL002"]
 
 
+def test_pl002_flags_keygen_shares_on_the_wire(tmp_path):
+    # Distributed keygen (repro.crypto.distkeygen): the prime shares
+    # p_i/q_i and β_i are sampled locally and must NEVER move over the
+    # bus — only derived protocol values (N candidates, commitments,
+    # decryption shares) travel.
+    report = lint(
+        tmp_path,
+        """
+        def broken_keygen_round(bus, p_share, q_share):
+            bus.broadcast_payload(0, p_share, tag="kg-p")
+            bus.send_payload(0, 1, q_share + 2, tag="kg-q")
+            bus.round(1)
+        """,
+    )
+    assert rules_found(report) == ["PL002", "PL002"]
+
+
+def test_pl002_flags_aux_key_in_log_and_beta_repr(tmp_path):
+    report = lint(
+        tmp_path,
+        """
+        from dataclasses import dataclass
+
+        @dataclass
+        class KeygenState:
+            party_index: int
+            beta_share: int
+
+            def report(self, logger, aux_private_key):
+                logger.info(f"aux key is {aux_private_key}")
+        """,
+    )
+    assert rules_found(report) == ["PL002", "PL002"]
+
+
+def test_pl002_accepts_derived_keygen_traffic(tmp_path):
+    # The legitimate keygen flow: shares stay local (repr=False), the
+    # wire carries modexp-derived commitments/partial values only.
+    report = lint(
+        tmp_path,
+        """
+        from dataclasses import dataclass, field
+
+        @dataclass
+        class KeygenState:
+            party_index: int
+            p_share: int = field(repr=False)
+            q_share: int = field(repr=False)
+            beta_share: int = field(repr=False)
+
+            def commit_round(self, bus, g, modulus):
+                commitment = pow(g, self.p_share + self.q_share, modulus)
+                bus.broadcast_payload(self.party_index, commitment, tag="kg-c")
+                bus.round(1)
+        """,
+    )
+    assert report.findings == []
+
+
 # ---------------------------------------------------------------------------
 # PL003 — unregistered-payload
 # ---------------------------------------------------------------------------
@@ -308,6 +367,54 @@ def test_pl004_ignores_non_deployed_classes(tmp_path):
         class Dealer:
             def simulate(self, ciphertext):
                 return self._private_key.decrypt(ciphertext)
+        """,
+    )
+    assert report.findings == []
+
+
+def test_pl004_covers_runtime_federation_no_dealer_world(tmp_path):
+    # RuntimeFederation runs distributed keygen: no dealer key ever
+    # exists, so the 'simulate' fallback and dealer-key decryption are
+    # not merely scrubbed — they are impossible.  The rule flags both.
+    report = lint(
+        tmp_path,
+        """
+        class Hasty(RuntimeFederation):
+            def shortcut(self, ciphertext):
+                self.context.decrypt_mode = "simulate"
+                return self.context.threshold.decrypt(ciphertext)
+        """,
+    )
+    assert rules_found(report) == ["PL004", "PL004"]
+
+
+def test_pl004_runtime_federation_subclass_inherits_the_ban(tmp_path):
+    report = lint(
+        tmp_path,
+        """
+        class Base(RuntimeFederation):
+            pass
+
+        class Derived(Base):
+            def peek(self):
+                return self.context.threshold.shares[0]
+        """,
+    )
+    # PL004 (deployed-class share read) plus PL002: the same expression
+    # is also a secret-derived public return.
+    assert "PL004" in rules_found(report)
+
+
+def test_pl004_accepts_runtime_federation_combine_flow(tmp_path):
+    report = lint(
+        tmp_path,
+        """
+        class Fine(RuntimeFederation):
+            def __init__(self, config):
+                self.config = config
+
+            def score(self, ctx, vec):
+                return ctx.joint_decrypt_vector(vec)
         """,
     )
     assert report.findings == []

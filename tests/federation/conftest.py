@@ -7,6 +7,11 @@ depth validation admits.
 
 from __future__ import annotations
 
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -14,6 +19,8 @@ from repro.core import PivotConfig
 from repro.data import make_classification, make_regression
 from repro.federation import Federation, Party
 from repro.tree import TreeParams
+
+SRC_DIR = Path(__file__).resolve().parents[2] / "src"
 
 TEST_KEYSIZE = 256
 ENHANCED_KEYSIZE = 512  # (max_depth+1) * 127 + 128 with max_depth = 2
@@ -68,3 +75,43 @@ def tiny_multiclass():
 @pytest.fixture(scope="session")
 def tiny_regression():
     return make_regression(20, 4, noise=0.05, seed=13)
+
+
+class StandalonePartyProcess:
+    """A real ``python -m repro.federation.runtime`` party subprocess."""
+
+    def __init__(self, config_path: Path):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC_DIR) + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        self.proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.federation.runtime",
+                "--config",
+                str(config_path),
+            ],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+
+    @property
+    def alive(self) -> bool:
+        return self.proc.poll() is None
+
+    def wait(self, timeout: float = 60.0) -> int:
+        return self.proc.wait(timeout=timeout)
+
+    def kill(self) -> None:
+        self.proc.kill()
+        self.proc.wait(timeout=10.0)
+
+    def ensure_dead(self) -> None:
+        if self.alive:
+            self.kill()
+        if self.proc.stderr is not None:
+            self.proc.stderr.close()

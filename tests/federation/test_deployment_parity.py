@@ -1,18 +1,27 @@
 """The deployment acceptance bar: changing the physical deployment changes
 *nothing* observable about the protocol.
 
-Two parity levels, both against the single-process in-memory baseline:
+Three parity levels, all against single-process in-memory baselines:
 
 1. **Socket transport** — ``Federation(parties, transport="asyncio")``
    routes every protocol payload over real local TCP sockets.
 2. **Per-party processes** — ``DeployedFederation`` additionally runs each
    non-super party in her own worker process (her columns and key share
    live only there).
+3. **Standalone runtimes** — ``RuntimeFederation`` retires the
+   orchestrator-as-scheduler entirely: each non-super party is a separate
+   ``python -m repro.federation.runtime`` OS process that joins
+   *distributed* keygen and reacts to protocol frames on her own socket.
+   This row is pinned bit-identical against an in-memory federation built
+   with ``keygen="distributed"`` (same seed, same keygen traffic), and its
+   model/predictions/op counts against the dealer baseline too.
 
 ``PivotClassifier.fit``/``predict`` must produce bit-identical models and
 predictions with identical measured bytes (total and per tag), rounds,
 and Ce/Cd/Cs/Cc operation counts.
 """
+
+from dataclasses import replace
 
 import numpy as np
 import pytest
@@ -23,7 +32,14 @@ from repro.crypto.threshold import PartialDecryption, combine_partial_decryption
 from repro.data import make_classification
 from repro.federation import Federation, Party, PivotClassifier
 from repro.federation.deployment import DeployedFederation, RemoteOpError
+from repro.federation.runtime import (
+    RuntimeFederation,
+    load_runtime_config,
+    write_party_configs,
+)
 from repro.tree import TreeParams
+
+from tests.federation.conftest import StandalonePartyProcess
 
 CONFIG = PivotConfig(
     keysize=256, tree=TreeParams(max_depth=2, max_splits=2), seed=3
@@ -90,6 +106,112 @@ def test_per_party_process_parity(data, baseline):
     result = _run(DeployedFederation(_parties(X, y), config=CONFIG), X[:6])
     assert result["cost"]["bus"]["transport"]["kind"] == "AsyncioTransport"
     _assert_parity(result, baseline)
+
+
+# -- the standalone-runtime row ----------------------------------------------
+#
+# RuntimeFederation derives the dataset from the shared [data] spec, so the
+# runtime configs below describe exactly the `data` fixture (24 x 4,
+# 2 classes, seed 11) split over 2 parties, and exactly CONFIG's pivot
+# parameters — the write_party_configs defaults mirror both on purpose.
+
+
+@pytest.fixture(scope="module")
+def distributed_baseline(data):
+    """In-memory run with dealerless keygen: the byte-level reference for
+    the runtime row (keygen traffic rides the same accounted bus)."""
+    X, y = data
+    cfg = replace(CONFIG, keygen="distributed", decrypt_mode="combine")
+    return _run(Federation(_parties(X, y), config=cfg), X[:6])
+
+
+@pytest.fixture(scope="module")
+def runtime_run(data, tmp_path_factory):
+    """One full standalone-runtime deployment: party 1 is a real OS
+    process launched from her TOML config; the orchestrator is a
+    RuntimeFederation built from party 0's.  Facts are captured while the
+    deployment is live; the fit/predict result closes it."""
+    X, y = data
+    directory = tmp_path_factory.mktemp("runtime-parity")
+    paths = write_party_configs(
+        directory, n_parties=2, timeout=60.0, n_samples=24, n_features=4
+    )
+    party = StandalonePartyProcess(paths[1])
+    facts = {}
+    try:
+        fed = RuntimeFederation(load_runtime_config(paths[0]))
+        facts["key_report"] = fed.key_report()
+        facts["stub"] = fed.context.clients[1]
+        facts["remote_poisoned"] = bool(
+            np.isnan(fed.parties[1]._raw_features).all()
+        )
+        try:
+            fed.context_for(protocol="enhanced")
+            facts["enhanced_error"] = None
+        except NotImplementedError as exc:
+            facts["enhanced_error"] = str(exc)
+        facts["result"] = _run(fed, X[:6])  # closes fed -> ctl-shutdown
+        facts["party_rc"] = party.wait(timeout=30.0)
+    finally:
+        party.ensure_dead()
+    return facts
+
+
+def test_standalone_runtime_parity(runtime_run, distributed_baseline):
+    result = runtime_run["result"]
+    assert result["cost"]["bus"]["transport"]["kind"] == "PeerTransport"
+    _assert_parity(result, distributed_baseline)
+    # The whole deployment drained and every party exited cleanly on the
+    # orchestrator's ctl-shutdown.
+    assert result["cost"]["bus"]["pending"] == 0
+    assert runtime_run["party_rc"] == 0
+
+
+def test_standalone_runtime_matches_dealer_model(runtime_run, baseline):
+    """Same model, predictions and homomorphic-op counts as the trusted
+    dealer baseline — only the key *provenance* differs (its kg-* traffic
+    keeps total bytes/rounds out of full byte parity with this row)."""
+    result = runtime_run["result"]
+    assert result["signature"] == baseline["signature"]
+    assert result["predictions"] == baseline["predictions"]
+    assert result["ops"] == baseline["ops"]
+
+
+def test_no_process_materializes_the_full_private_key(runtime_run):
+    """The acceptance bar for retiring the dealer: every process — the
+    orchestrator included — audits as holding her own share material and
+    never the full private key."""
+    report = runtime_run["key_report"]
+    assert sorted(report) == [0, 1]
+    for summary in report.values():
+        assert summary["full_private_key"] is False
+        assert summary["d_share"] is True
+
+
+def test_runtime_stub_refuses_local_reads(runtime_run):
+    """The orchestrator holds no copy of a standalone party's columns:
+    shape-level facts work, every data read or local computation refuses."""
+    stub = runtime_run["stub"]
+    assert stub.n_features == 2
+    assert stub.n_splits(0) == 2  # fetched over the control plane
+    with pytest.raises(RuntimeError, match="standalone runtime"):
+        stub.features.read()
+    with pytest.raises(RuntimeError, match="standalone runtime"):
+        np.asarray(stub.features)
+    for refused in (
+        lambda: stub.indicator(0, 0),
+        lambda: stub.indicator_matrix(0),
+        lambda: stub.local_row(0),
+        lambda: stub.split_values,
+    ):
+        with pytest.raises(NotImplementedError, match="her own process"):
+            refused()
+    assert runtime_run["remote_poisoned"]
+
+
+def test_runtime_refuses_the_enhanced_protocol(runtime_run):
+    assert runtime_run["enhanced_error"] is not None
+    assert "centrally driven" in runtime_run["enhanced_error"]
 
 
 # -- the physical locality guarantee -----------------------------------------

@@ -126,7 +126,7 @@ def test_unsupported_payload_rejected(codec):
     with pytest.raises(WireFormatError):
         codec.serialize(object())
     with pytest.raises(WireFormatError):
-        codec.estimate(3.14)
+        codec.estimate({"dicts": "are not wire types"})
 
 
 def test_foreign_key_rejected(codec, keypair):
