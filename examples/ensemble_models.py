@@ -48,8 +48,8 @@ def main() -> None:
     print(f"  Pivot-RF accuracy: {rf_acc:.3f}   NP-RF accuracy: {plain_acc:.3f}")
 
     # --- Pivot-GBDT on energy regression -----------------------------------
-    energy = load_appliances_energy(200, seed=2).subsample(36, seed=3)
-    Xr, yr = energy.features[:, :6], energy.labels
+    energy_dataset = load_appliances_energy(200, seed=2).subsample(36, seed=3)
+    Xr, yr = energy_dataset.features[:, :6], energy_dataset.labels
     gbdt_parties = [
         Party(Xr[:, :2], labels=yr),
         Party(Xr[:, 2:4]),

@@ -53,6 +53,8 @@ def main() -> None:
         # 2. The locality boundary is physical now: the orchestrator holds
         #    no raw columns of the remote parties at all.
         try:
+            # pivotlint: disable=PL001 -- deliberate: demonstrates the
+            # cross-process guard raising on a foreign party's columns.
             fed.context.clients[1].features.read()
         except RemoteOpError as error:
             print("cross-process read impossible:", str(error).split(";")[0])

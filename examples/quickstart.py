@@ -56,6 +56,8 @@ def main() -> None:
         # 5. The enforced boundary: reading another party's raw columns
         #    raises (her own succeed, inside her scope).
         try:
+            # pivotlint: disable=PL001 -- deliberate: demonstrates the
+            # locality guard raising on a foreign party's columns.
             parties[1].features[0]
         except Exception as error:
             print("cross-party read blocked:", type(error).__name__)

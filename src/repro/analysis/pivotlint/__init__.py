@@ -3,8 +3,10 @@
 The repo's runtime guards (``LocalView``/``as_party``/``LocalityError``;
 the dealer scrub) enforce the paper's §3.1/§4 invariants on the code paths
 a test happens to execute.  pivotlint is the static counterpart: an
-AST-based analyzer with a small dataflow/taint engine that checks *every*
-path, executed or not.
+AST-based analyzer with a small dataflow/taint engine — backed by a
+project-wide call graph (``callgraph``) and per-function effect summaries
+(``summaries``) — that checks *every* path, executed or not, across
+function and module boundaries.
 
 Rules:
 
@@ -12,18 +14,30 @@ Rules:
 PL001  raw-read-outside-scope    raw feature/label data read outside the
                                  owning party's scope
 PL002  secret-escape             key secrets (d_i, dealer key, primes)
-                                 reaching wire/log/repr/public-return sinks
+                                 reaching wire/log/repr/public-return
+                                 sinks, including through helper calls
 PL003  unregistered-payload      bus payloads that are not registered
                                  WireCodec wire types
 PL004  dealer-use-after-scrub    dealer-key-only operations reachable from
                                  DeployedFederation post-provisioning code
 PL005  drain-discipline          bus sends with no round()/assert_drained
-                                 barrier on some path
+                                 barrier on some path (callee barriers
+                                 count via summaries)
+PL006  unhandled-protocol-tag    a constant tag sent or requested with no
+                                 matching consumer/handler in the project
+PL007  unbounded-wait            while-True receive loops with no timeout,
+                                 deadline, or EOF-class exception handling
+PL008  blocking-in-event-loop    synchronous sleep/socket/bigint-pow calls
+                                 inside ``async def`` bodies
+PL009  width-parity              WireCodec ``estimate`` arithmetic that
+                                 disagrees with what ``_write`` emits
 ====== ========================= ==========================================
 
-Run: ``python -m repro.analysis.pivotlint src/ --strict``.  See
+Run: ``python -m repro.analysis.pivotlint src/ --strict`` (add
+``--jobs N`` to fan per-file checks across worker processes; the merged
+report is byte-identical to a serial run).  See
 ``src/repro/analysis/pivotlint/README.md`` for the catalogue, the
-suppression policy, and how to add a rule.
+interprocedural semantics, the suppression policy, and how to add a rule.
 """
 
 from repro.analysis.pivotlint.baseline import Baseline, BaselineEntry

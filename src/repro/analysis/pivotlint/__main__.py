@@ -26,10 +26,20 @@ def _build_parser() -> argparse.ArgumentParser:
         description=(
             "pivotlint: static privacy-flow analyzer for the Pivot "
             "reproduction — proves the locality and key-secrecy "
-            "invariants at lint time (rules PL001-PL005)"
+            "invariants at lint time (rules PL001-PL009)"
         ),
     )
     parser.add_argument("paths", nargs="*", default=["src"], help="files/directories to scan")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "run per-file rule checks across N worker processes; the merged "
+            "report is byte-identical to a serial run (default: 1)"
+        ),
+    )
     parser.add_argument(
         "--strict",
         action="store_true",
@@ -131,7 +141,10 @@ def main(argv: list[str] | None = None) -> int:
     baseline_path = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE)
     baseline = Baseline.load(baseline_path)
     analyzer = Analyzer(baseline=baseline, strict=args.strict)
-    report = analyzer.run(args.paths)
+    if args.jobs < 1:
+        print("pivotlint: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    report = analyzer.run(args.paths, jobs=args.jobs)
 
     if args.update_baseline:
         for finding in report.findings:

@@ -172,6 +172,11 @@ SECRET_ATTRS = frozenset(
 #: Bare parameter/variable names treated as secret on first use.
 SECRET_NAMES = frozenset({"private_key", "d_share", "key_share"})
 
+#: Attribute loads that yield public protocol *metadata* even off a secret
+#: base object: a key share's party index, a payload's exponent, the public
+#: key hanging off a private one.  These never taint.
+PUBLIC_ATTRS = frozenset({"party_index", "n_parties", "public_key", "exponent"})
+
 #: Calls whose *result* is secret (the dealer's prime pair).
 SOURCE_CALLS = frozenset({"random_prime_pair"})
 
@@ -187,8 +192,13 @@ class TaintEngine:
     the function's statements.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, resolver=None) -> None:
         self.tainted: set[str] = set()
+        #: optional interprocedural hook: ``resolver(call) -> bool`` says
+        #: whether a call expression returns a secret-derived value (wired
+        #: to the project summaries by PL002; ``None`` keeps the PR 6
+        #: intraprocedural behavior).
+        self.resolver = resolver
 
     # -- expression query --------------------------------------------------
 
@@ -196,6 +206,8 @@ class TaintEngine:
         if isinstance(node, ast.Attribute):
             if node.attr in SECRET_ATTRS:
                 return True
+            if node.attr in PUBLIC_ATTRS:
+                return False
             # ``a.b.d_share`` style chains: the chain is tainted if any
             # attribute link is a secret name.
             return self.is_tainted(node.value)
@@ -220,16 +232,34 @@ class TaintEngine:
                     return True
                 if func.id in PROPAGATING_CALLS:
                     return any(self.is_tainted(a) for a in node.args)
-                # pow(c, d_i, n²) sanitizes: a modexp output is a
-                # decryption share / ciphertext, which is protocol-public.
-                return False
+                if func.id == "pow":
+                    # pow(c, d_i, n²) sanitizes: a modexp output is a
+                    # decryption share / ciphertext, which is protocol-public.
+                    return False
             if isinstance(func, ast.Attribute) and func.attr in SOURCE_CALLS:
                 return True
+            if self.resolver is not None:
+                return bool(self.resolver(node))
             return False
         if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
-            return self.is_tainted(node.elt) or any(
-                self.is_tainted(gen.iter) for gen in node.generators
-            )
+            # What escapes a comprehension is its *elements*: evaluate the
+            # element expression with targets of tainted iterables bound
+            # tainted.  ``[s for s in shares]`` stays secret;
+            # ``[s.partial_decrypt(c) for s in shares]`` is protocol-public.
+            bound: set[str] = set()
+            for gen in node.generators:
+                if self.is_tainted(gen.iter):
+                    bound.update(
+                        n.id
+                        for n in ast.walk(gen.target)
+                        if isinstance(n, ast.Name)
+                    )
+            added = bound - self.tainted
+            self.tainted.update(added)
+            try:
+                return self.is_tainted(node.elt)
+            finally:
+                self.tainted.difference_update(added)
         if isinstance(node, ast.Compare):
             return False  # a boolean reveals at most one bit by design
         return False

@@ -19,13 +19,16 @@ entries), so the accepted-findings surface cannot rot.
 from __future__ import annotations
 
 import ast
+import multiprocessing
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.analysis.pivotlint.baseline import Baseline
+from repro.analysis.pivotlint.callgraph import ProjectIndex
 from repro.analysis.pivotlint.dataflow import build_parent_map, enclosing_stmt
 from repro.analysis.pivotlint.findings import Finding
 from repro.analysis.pivotlint.rules import REGISTRY, Rule
+from repro.analysis.pivotlint import rules_protocol  # noqa: F401  (registers PL006-PL009)
 from repro.analysis.pivotlint.suppress import Suppression, parse_suppressions
 
 
@@ -38,6 +41,9 @@ class FileContext:
         self.source = source
         self.tree = tree
         self.lines = source.splitlines()
+        #: the cross-file index of the whole run (set by the analyzer);
+        #: rules consult it for call resolution and function summaries.
+        self.project: ProjectIndex | None = None
         self._parents: dict[ast.AST, ast.AST] | None = None
 
     def enclosing_stmt(self, node: ast.AST) -> ast.AST:
@@ -70,6 +76,45 @@ class Report:
         return counts
 
 
+def _make_quench(suppression_map: dict[str, list[Suppression]]):
+    """``(relpath, rule, line) -> bool``: is the line under a suppression?
+
+    The summary computation uses this to stop exporting taint that a
+    human already certified as protocol-public at its origin (see
+    :mod:`repro.analysis.pivotlint.summaries`).  Unjustified suppressions
+    count too — PL000 hygiene separately forces a reason onto them.
+    """
+
+    def quench(relpath: str, rule: str, line: int) -> bool:
+        for sup in suppression_map.get(relpath, ()):
+            if rule in sup.codes and (sup.file_level or line in sup.covers):
+                return True
+        return False
+
+    return quench
+
+
+#: Per-process state for ``--jobs`` workers: the shared project index and
+#: a rule set rebuilt from the registry (rules are stateless).
+_WORKER_STATE: dict = {}
+
+
+def _worker_init(project: ProjectIndex) -> None:
+    _WORKER_STATE["project"] = project
+    _WORKER_STATE["rules"] = [cls() for cls in REGISTRY.values()]
+
+
+def _worker_check(task: tuple[str, str, str]) -> list[Finding]:
+    path_str, relpath, source = task
+    project: ProjectIndex = _WORKER_STATE["project"]
+    ctx = FileContext(Path(path_str), relpath, source, project.files[relpath])
+    ctx.project = project
+    raw: list[Finding] = []
+    for rule in _WORKER_STATE["rules"]:
+        raw.extend(rule.check(ctx))
+    return raw
+
+
 class Analyzer:
     """Run the registered rules over a set of paths."""
 
@@ -80,6 +125,7 @@ class Analyzer:
         strict: bool = False,
         root: Path | None = None,
     ):
+        self._default_rules = rules is None
         self.rules = rules if rules is not None else [cls() for cls in REGISTRY.values()]
         self.baseline = baseline or Baseline()
         self.strict = strict
@@ -112,8 +158,10 @@ class Analyzer:
 
     # -- the run -----------------------------------------------------------
 
-    def run(self, paths: list[Path | str]) -> Report:
+    def run(self, paths: list[Path | str], jobs: int = 1) -> Report:
         report = Report()
+        contexts: list[FileContext] = []
+        suppression_map: dict[str, list[Suppression]] = {}
         for path in self._iter_files([Path(p) for p in paths]):
             relpath = self._relpath(path)
             try:
@@ -132,15 +180,56 @@ class Analyzer:
                 )
                 continue
             report.files_scanned += 1
-            ctx = FileContext(path, relpath, source, tree)
-            suppressions = parse_suppressions(source)
-            raw = []
-            for rule in self.rules:
-                raw.extend(rule.check(ctx))
-            self._filter(report, relpath, raw, suppressions)
+            contexts.append(FileContext(path, relpath, source, tree))
+            suppression_map[relpath] = parse_suppressions(source)
+
+        project = ProjectIndex.build(
+            [(ctx.relpath, ctx.tree) for ctx in contexts],
+            quench=_make_quench(suppression_map),
+        )
+        for ctx in contexts:
+            ctx.project = project
+
+        raw_by_file = self._check_files(contexts, project, jobs)
+        for ctx in contexts:
+            self._filter(
+                report,
+                ctx.relpath,
+                raw_by_file[ctx.relpath],
+                suppression_map[ctx.relpath],
+            )
         self._baseline_hygiene(report)
         report.findings.sort(key=lambda f: (f.path, f.line, f.rule))
         return report
+
+    def _check_files(
+        self, contexts: list[FileContext], project: ProjectIndex, jobs: int
+    ) -> dict[str, list[Finding]]:
+        """Run every rule over every file — in-process or fanned out.
+
+        With ``jobs > 1`` the per-file rule checks run in a process pool;
+        files are dispatched and merged in discovery order and the filter/
+        sort stages stay in the parent, so the report is byte-identical to
+        a serial run.  Custom rule lists fall back to serial (worker
+        processes rebuild rules from the registry).
+        """
+        serial = jobs <= 1 or len(contexts) <= 1 or not self._default_rules
+        if serial:
+            out: dict[str, list[Finding]] = {}
+            for ctx in contexts:
+                raw: list[Finding] = []
+                for rule in self.rules:
+                    raw.extend(rule.check(ctx))
+                out[ctx.relpath] = raw
+            return out
+        tasks = [(str(ctx.path), ctx.relpath, ctx.source) for ctx in contexts]
+        with multiprocessing.Pool(
+            processes=min(jobs, len(contexts)),
+            initializer=_worker_init,
+            initargs=(project,),
+        ) as pool:
+            results = pool.map(_worker_check, tasks)
+        return {ctx.relpath: raw for ctx, raw in zip(contexts, results)}
 
     def _filter(
         self,
@@ -160,7 +249,7 @@ class Analyzer:
                             line=sup.line,
                             col=0,
                             message=f"suppression names unknown rule {code!r}",
-                            hint="rule ids are PL001..PL005",
+                            hint="rule ids are PL001..PL009",
                         )
                     )
             if not sup.reason:

@@ -1,4 +1,8 @@
-"""The pivotlint rule catalogue: PL001–PL005.
+"""The pivotlint privacy-rule catalogue: PL001–PL005.
+
+(The runtime-protocol pack PL006–PL009 lives in
+:mod:`repro.analysis.pivotlint.rules_protocol`; the engine imports both
+modules so :data:`REGISTRY` always holds the full catalogue.)
 
 Each rule is a class with a ``rule_id``, a one-line ``summary``, a fix
 ``hint``, and a ``check(file_ctx) -> list[Finding]``.  Rules register
@@ -21,8 +25,10 @@ The rules encode the paper's two static invariants:
 from __future__ import annotations
 
 import ast
+from collections.abc import Callable
 from typing import TYPE_CHECKING
 
+from repro.analysis.pivotlint.callgraph import map_args
 from repro.analysis.pivotlint.dataflow import (
     SECRET_ATTRS,
     FunctionWalker,
@@ -89,6 +95,25 @@ _MATERIALIZERS = frozenset(
 #: Attribute reads that expose only array *metadata*, never element values.
 _METADATA_ATTRS = frozenset({"shape", "ndim", "dtype", "size", "nbytes"})
 
+#: Base names that denote the experimenter's own *pre-federation* dataset
+#: object (the loaders' Dataset/split records).  ``train.features`` in a
+#: benchmark is the whole-table data the experiment starts from — party
+#: ownership only begins at ``vertical_partition`` — so reads through
+#: these bases are not party-scoped.
+_DATASET_BASES = frozenset({"dataset", "ds", "data", "train", "test", "valid", "val"})
+
+
+def _is_dataset_base(guarded: ast.Attribute) -> bool:
+    base = guarded.value
+    name = None
+    if isinstance(base, ast.Name):
+        name = base.id
+    elif isinstance(base, ast.Attribute):
+        name = base.attr
+    if name is None:
+        return False
+    return name in _DATASET_BASES or name.endswith(("_train", "_test", "_dataset"))
+
 
 @register
 class RawReadOutsideScope(Rule):
@@ -135,8 +160,10 @@ class RawReadOutsideScope(Rule):
                 for target in node.targets:
                     if isinstance(target, ast.Name):
                         value = node.value
-                        if isinstance(value, ast.Attribute) and value.attr in (
-                            GUARDED_ATTRS | RAW_ATTRS
+                        if (
+                            isinstance(value, ast.Attribute)
+                            and value.attr in (GUARDED_ATTRS | RAW_ATTRS)
+                            and not _is_dataset_base(value)
                         ):
                             self._aliases[target.id] = value
                         else:
@@ -225,6 +252,8 @@ class RawReadOutsideScope(Rule):
                 if isinstance(node, ast.Attribute) and node.attr in (
                     GUARDED_ATTRS | RAW_ATTRS
                 ):
+                    if _is_dataset_base(node):
+                        return None  # pre-federation experiment data
                     return node
                 if isinstance(node, ast.Name):
                     return self._aliases.get(node.id)
@@ -252,6 +281,25 @@ class RawReadOutsideScope(Rule):
                     guarded = self._guarded_attr(node.args[0])
                     if guarded is not None:
                         self._report(node, guarded)
+                # Interprocedural: passing a guarded array to a function
+                # whose summary reads that parameter's element data is a
+                # read at this call site — the callee needs the owner's
+                # scope, so the caller must hold it.
+                project = getattr(ctx, "project", None)
+                if project is not None:
+                    reported: set[int] = set()
+                    for info, summary in project.summaries_for_call(node):
+                        if not summary.reads_params:
+                            continue
+                        mapping = map_args(node, info)
+                        for param in summary.reads_params:
+                            arg = mapping.get(param)
+                            if arg is None or id(arg) in reported:
+                                continue
+                            guarded = self._guarded_attr(arg)
+                            if guarded is not None:
+                                reported.add(id(arg))
+                                self._report(arg, guarded)
                 self.generic_visit(node)
 
             def visit_For(self, node: ast.For) -> None:
@@ -335,9 +383,27 @@ class SecretEscape(Rule):
     def check(self, ctx: "FileContext") -> list[Finding]:
         rule = self
         findings: list[Finding] = []
+        project = getattr(ctx, "project", None)
 
         def scan_function(node, qualname: str) -> None:
             taint = TaintEngine()
+            if project is not None:
+                # Interprocedural hook: a call returns secret-derived data
+                # when any resolved callee's summary says so (directly, or
+                # through a tainted argument flowing to its return).
+                def resolve(call: ast.Call) -> bool:
+                    for info, summary in project.summaries_for_call(call):
+                        if summary.returns_secret:
+                            return True
+                        if summary.taint_params:
+                            mapping = map_args(call, info)
+                            for param in summary.taint_params:
+                                arg = mapping.get(param)
+                                if arg is not None and taint.is_tainted(arg):
+                                    return True
+                    return False
+
+                taint.resolver = resolve
             for arg in list(node.args.args) + list(node.args.kwonlyargs):
                 if arg.arg in SECRET_FIELDS:
                     taint.tainted.add(arg.arg)
@@ -369,6 +435,29 @@ class SecretEscape(Rule):
                                         qualname,
                                     )
                                 )
+                    elif project is not None:
+                        # A tainted argument handed to a function whose
+                        # summary forwards that parameter into a sink.
+                        reported = False
+                        for info, summary in project.summaries_for_call(sub):
+                            if reported or not summary.sink_params:
+                                continue
+                            mapping = map_args(sub, info)
+                            for param, where in summary.sink_params.items():
+                                arg = mapping.get(param)
+                                if arg is not None and taint.is_tainted(arg):
+                                    findings.append(
+                                        rule.finding(
+                                            ctx,
+                                            arg,
+                                            f"secret-derived value passed to "
+                                            f"`{info.name}()`, which forwards "
+                                            f"it to {where}",
+                                            qualname,
+                                        )
+                                    )
+                                    reported = True
+                                    break
                 elif isinstance(sub, ast.JoinedStr):
                     for value in sub.values:
                         if isinstance(value, ast.FormattedValue) and taint.is_tainted(
@@ -775,6 +864,73 @@ _SEND_CALLS = frozenset({"send_payload", "broadcast_payload"})
 _BARRIER_CALLS = frozenset({"round", "assert_drained", "drain"})
 
 
+def scan_open_send(
+    body: list[ast.stmt], classify: "Callable[[ast.Call], str | None]"
+) -> ast.Call | None:
+    """Forward path scan; returns the open (unbarriered) send, if any.
+
+    ``classify`` maps a call to ``"send"``, ``"barrier"``, or ``None``
+    (effect-neutral).  PL005 passes a project-aware classifier (calls to
+    functions whose summary leaves a send open count as sends, calls to
+    functions containing a barrier count as barriers); the summary
+    computation passes the primitive-only classifier, which keeps effect
+    propagation to exactly one call level.
+    """
+
+    def calls_in_order(stmt: ast.stmt) -> list[ast.Call]:
+        return [n for n in ast.walk(stmt) if isinstance(n, ast.Call)]
+
+    def scan_block(
+        body: list[ast.stmt], open_send: ast.Call | None
+    ) -> ast.Call | None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            if isinstance(stmt, (ast.If,)):
+                for call in calls_in_order(ast.Expr(stmt.test)):
+                    kind = classify(call)
+                    if kind == "send":
+                        open_send = call
+                    elif kind == "barrier":
+                        open_send = None
+                then = scan_block(stmt.body, open_send)
+                other = scan_block(stmt.orelse, open_send)
+                open_send = then or other
+            elif isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+                after_body = scan_block(stmt.body, open_send)
+                after_else = scan_block(stmt.orelse, after_body)
+                open_send = after_else or after_body or open_send
+                # A barrier inside the loop body clears sends *of that
+                # iteration*; conservatively, a loop whose body ends
+                # open leaves the function open.
+                if scan_block(stmt.body, None) is None and after_body is None:
+                    open_send = scan_block(stmt.orelse, open_send)
+            elif isinstance(stmt, ast.Try):
+                after_try = scan_block(stmt.body, open_send)
+                for handler in stmt.handlers:
+                    h = scan_block(handler.body, after_try)
+                    after_try = after_try or h
+                after_try = scan_block(stmt.orelse, after_try)
+                open_send = scan_block(stmt.finalbody, after_try)
+            elif isinstance(stmt, ast.With):
+                open_send = scan_block(stmt.body, open_send)
+            else:
+                for call in calls_in_order(stmt):
+                    kind = classify(call)
+                    if kind == "send":
+                        open_send = call
+                    elif kind == "barrier":
+                        open_send = None
+            if isinstance(stmt, (ast.Return, ast.Raise)):
+                # Path terminates here; an open send at a raise is the
+                # error path abandoning in-flight messages — still a
+                # drained-invariant break, reported at the send.
+                continue
+        return open_send
+
+    return scan_block(body, None)
+
+
 @register
 class DrainDiscipline(Rule):
     """PL005: a bus send with no synchronisation barrier on some path."""
@@ -782,10 +938,13 @@ class DrainDiscipline(Rule):
     rule_id = "PL005"
     name = "drain-discipline"
     summary = (
-        "A function that sends on the bus (send_payload/broadcast_payload) "
-        "has an execution path ending with no subsequent round()/"
+        "A function that sends on the bus (send_payload/broadcast_payload, "
+        "or a call to any function whose summary leaves a send open) has "
+        "an execution path ending with no subsequent round()/"
         "assert_drained()/drain() — over a real transport those bytes sit "
-        "undelivered and the end-of-training drained invariant breaks."
+        "undelivered and the end-of-training drained invariant breaks.  "
+        "`_op_*` dispatch handlers are exempt by convention: their send is "
+        "the *reply*, and the requesting flow owns the round barrier."
     )
     hint = (
         "finish the flow with bus.round(k) (the sync barrier drains "
@@ -795,72 +954,32 @@ class DrainDiscipline(Rule):
     def check(self, ctx: "FileContext") -> list[Finding]:
         rule = self
         findings: list[Finding] = []
-
-        def calls_in_order(stmt: ast.stmt) -> list[ast.Call]:
-            return [n for n in ast.walk(stmt) if isinstance(n, ast.Call)]
+        project = getattr(ctx, "project", None)
 
         def classify(call: ast.Call) -> str | None:
             func = call.func
-            if not isinstance(func, ast.Attribute):
-                return None
-            if func.attr in _SEND_CALLS:
-                return "send"
-            if func.attr in _BARRIER_CALLS:
-                return "barrier"
+            if isinstance(func, ast.Attribute):
+                if func.attr in _SEND_CALLS:
+                    return "send"
+                if func.attr in _BARRIER_CALLS:
+                    return "barrier"
+            if project is not None:
+                kind = None
+                for _info, summary in project.summaries_for_call(call):
+                    if summary.open_send:
+                        return "send"
+                    if summary.has_barrier:
+                        kind = "barrier"
+                return kind
             return None
-
-        def scan_block(
-            body: list[ast.stmt], open_send: ast.Call | None
-        ) -> ast.Call | None:
-            """Forward scan; returns the open (unbarriered) send, if any."""
-            for stmt in body:
-                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
-                    continue
-                if isinstance(stmt, (ast.If,)):
-                    for call in calls_in_order(ast.Expr(stmt.test)):
-                        kind = classify(call)
-                        if kind == "send":
-                            open_send = call
-                        elif kind == "barrier":
-                            open_send = None
-                    then = scan_block(stmt.body, open_send)
-                    other = scan_block(stmt.orelse, open_send)
-                    open_send = then or other
-                elif isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
-                    after_body = scan_block(stmt.body, open_send)
-                    after_else = scan_block(stmt.orelse, after_body)
-                    open_send = after_else or after_body or open_send
-                    # A barrier inside the loop body clears sends *of that
-                    # iteration*; conservatively, a loop whose body ends
-                    # open leaves the function open.
-                    if scan_block(stmt.body, None) is None and after_body is None:
-                        open_send = scan_block(stmt.orelse, open_send)
-                elif isinstance(stmt, ast.Try):
-                    after_try = scan_block(stmt.body, open_send)
-                    for handler in stmt.handlers:
-                        h = scan_block(handler.body, after_try)
-                        after_try = after_try or h
-                    after_try = scan_block(stmt.orelse, after_try)
-                    open_send = scan_block(stmt.finalbody, after_try)
-                elif isinstance(stmt, ast.With):
-                    open_send = scan_block(stmt.body, open_send)
-                else:
-                    for call in calls_in_order(stmt):
-                        kind = classify(call)
-                        if kind == "send":
-                            open_send = call
-                        elif kind == "barrier":
-                            open_send = None
-                if isinstance(stmt, (ast.Return, ast.Raise)):
-                    # Path terminates here; an open send at a raise is the
-                    # error path abandoning in-flight messages — still a
-                    # drained-invariant break, reported at the send.
-                    continue
-            return open_send
 
         class Visitor(FunctionWalker):
             def handle_function(self, node) -> None:
-                open_send = scan_block(node.body, None)
+                if node.name.startswith("_op_"):
+                    # Reactive dispatch handler: the send is the reply to a
+                    # request; the requesting flow owns the round barrier.
+                    return
+                open_send = scan_open_send(node.body, classify)
                 if open_send is not None:
                     findings.append(
                         rule.finding(

@@ -1,0 +1,479 @@
+"""Per-function summaries: what a call to this function *does*.
+
+For every :class:`~repro.analysis.pivotlint.callgraph.FunctionInfo` in the
+project index, one :class:`FunctionSummary` records the facts a *caller*
+needs without re-analyzing the body:
+
+* **taint** — does the return value carry key secrets
+  (``returns_secret``), and which parameters flow to the return
+  (``taint_params``) or into a wire/log sink (``sink_params``)?  This is
+  what lets PL002 catch a ``d_share`` laundered through a helper in
+  another module.
+* **reads** — which parameters have their *element data* read
+  (``reads_params``)?  Passing a guarded feature/label array into such a
+  function outside the owner's scope is a PL001 read at the call site.
+* **send/barrier effects** — does the body put bytes on the bus and leave
+  them unbarriered on some exit path (``open_send``), or does it contain
+  a ``round()``/``assert_drained()``/``drain()`` barrier
+  (``has_barrier``)?  PL005 classifies a *call* to the function
+  accordingly.
+* **tag forwarding** — does a ``tag`` parameter reach a send or a receive
+  primitive?  PL006 uses this to treat ``record_threshold_decrypt(...,
+  tag="eq10")`` as both producing and consuming the tag.
+
+Summaries are computed with a *labeled* variant of the PR 6 taint engine
+(each parameter is its own label, ``~secret`` marks intrinsic sources)
+and iterated to a fixpoint, so taint chains through helpers-of-helpers
+across module boundaries.
+
+Two propagation policies, deliberately different:
+
+* **Taint quenches on suppression.**  An inline ``# pivotlint:
+  disable=PL002`` on a return or sink statement certifies the value as
+  protocol-public (e.g. ``L(c^λ)·µ mod n`` *is* the plaintext), so the
+  summary does not export it and callers are not flagged.
+* **Send effects do not quench.**  The suppression on
+  ``PartyEndpoint.send`` says "the caller owns the round barrier" — the
+  whole point is that callers still see the send and must close the
+  flow.  Effects also propagate exactly one call level (the callee's own
+  primitive sends): deeper chains are enforced level by level, each
+  function either barriers, or justifies, or is flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass, field
+
+from repro.analysis.pivotlint.callgraph import (
+    FunctionInfo,
+    ProjectIndex,
+    map_args,
+)
+from repro.analysis.pivotlint.dataflow import (
+    PROPAGATING_CALLS,
+    PUBLIC_ATTRS,
+    SECRET_ATTRS,
+    SECRET_NAMES,
+    SOURCE_CALLS,
+)
+
+#: The label marking intrinsically secret values (vs. parameter labels).
+SECRET = "~secret"
+
+#: relpath, rule id, line -> is there a justified suppression covering it?
+QuenchFn = Callable[[str, str, int], bool]
+
+_RECEIVE_CALLS = frozenset(
+    {"receive", "receive_any", "receive_tagged", "receive_control"}
+)
+# The payload-routing primitives only: the byte-accounting ``bus.send`` /
+# ``bus.broadcast`` carry bookkeeping tags that never enter an inbox, so
+# forwarding a tag into them is not producing a consumable message.
+_TAG_SEND_CALLS = frozenset(
+    {"send_payload", "broadcast_payload", "send_control"}
+)
+
+
+@dataclass
+class FunctionSummary:
+    """Caller-visible facts about one function (see module docstring)."""
+
+    qualkey: str
+    returns_secret: bool = False
+    taint_params: frozenset[str] = frozenset()
+    sink_params: dict[str, str] = field(default_factory=dict)
+    reads_params: frozenset[str] = frozenset()
+    open_send: bool = False
+    has_barrier: bool = False
+    does_send: bool = False
+    forwards_tag_to_send: bool = False
+    forwards_tag_to_receive: bool = False
+
+
+def walk_function(node: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` pruned at nested function boundaries.
+
+    A nested def's returns/sends belong to the nested function's own
+    summary, not to the enclosing one.
+    """
+    stack: list[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        for child in ast.iter_child_nodes(current):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            stack.append(child)
+
+
+class LabelEngine:
+    """Labeled may-taint over one function body.
+
+    Same propagation rules as :class:`~repro.analysis.pivotlint.dataflow.
+    TaintEngine` (assignments and arithmetic propagate, ``pow()``
+    sanitizes), except values carry *label sets*: :data:`SECRET` for
+    intrinsic sources, a parameter's name for values derived from that
+    parameter — and calls resolve through the project summaries, so taint
+    flows across function and module boundaries.
+    """
+
+    def __init__(
+        self,
+        index: ProjectIndex,
+        summaries: dict[str, FunctionSummary],
+        params: tuple[str, ...],
+    ) -> None:
+        self.index = index
+        self.summaries = summaries
+        self.labels: dict[str, frozenset[str]] = {
+            p: frozenset({p}) for p in params
+        }
+
+    # -- expression query --------------------------------------------------
+
+    def labels_of(self, node: ast.expr) -> frozenset[str]:
+        empty: frozenset[str] = frozenset()
+        if isinstance(node, ast.Attribute):
+            if node.attr in SECRET_ATTRS:
+                return frozenset({SECRET}) | self.labels_of(node.value)
+            if node.attr in PUBLIC_ATTRS:
+                return empty
+            return self.labels_of(node.value)
+        if isinstance(node, ast.Name):
+            own = frozenset({SECRET}) if node.id in SECRET_NAMES else empty
+            return own | self.labels.get(node.id, empty)
+        if isinstance(node, (ast.BinOp, ast.UnaryOp)):
+            out = empty
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    out |= self.labels_of(child)
+            return out
+        if isinstance(node, ast.BoolOp):
+            out = empty
+            for value in node.values:
+                out |= self.labels_of(value)
+            return out
+        if isinstance(node, ast.IfExp):
+            return self.labels_of(node.body) | self.labels_of(node.orelse)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            out = empty
+            for elt in node.elts:
+                out |= self.labels_of(elt)
+            return out
+        if isinstance(node, ast.Starred):
+            return self.labels_of(node.value)
+        if isinstance(node, ast.Subscript):
+            return self.labels_of(node.value)
+        if isinstance(node, ast.Call):
+            return self._labels_of_call(node)
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            # Mirror TaintEngine: the *elements* escape — evaluate the
+            # element expression with tainted-iterable targets bound.
+            saved: dict[str, frozenset[str] | None] = {}
+            for gen in node.generators:
+                iter_labels = self.labels_of(gen.iter)
+                if iter_labels:
+                    for name in ast.walk(gen.target):
+                        if isinstance(name, ast.Name):
+                            saved.setdefault(name.id, self.labels.get(name.id))
+                            self.labels[name.id] = (
+                                self.labels.get(name.id, empty) | iter_labels
+                            )
+            try:
+                return self.labels_of(node.elt)
+            finally:
+                for name_id, previous in saved.items():
+                    if previous is None:
+                        self.labels.pop(name_id, None)
+                    else:
+                        self.labels[name_id] = previous
+        return empty  # Compare reveals one bit by design; constants are clean
+
+    def _labels_of_call(self, call: ast.Call) -> frozenset[str]:
+        empty: frozenset[str] = frozenset()
+        func = call.func
+        if isinstance(func, ast.Name):
+            if func.id in SOURCE_CALLS:
+                return frozenset({SECRET})
+            if func.id in PROPAGATING_CALLS:
+                out = empty
+                for arg in call.args:
+                    out |= self.labels_of(arg)
+                return out
+            if func.id == "pow":
+                # modexp output (a ciphertext / decryption share) is
+                # protocol-public: sanitize.
+                return empty
+        elif isinstance(func, ast.Attribute) and func.attr in SOURCE_CALLS:
+            return frozenset({SECRET})
+        out = empty
+        for info in self.index.resolve_call(call):
+            summary = self.summaries.get(info.qualkey)
+            if summary is None:
+                continue
+            if summary.returns_secret:
+                out |= frozenset({SECRET})
+            if summary.taint_params:
+                mapping = map_args(call, info)
+                for param in summary.taint_params:
+                    if param in mapping:
+                        out |= self.labels_of(mapping[param])
+        return out
+
+    # -- statement-level propagation ----------------------------------------
+
+    def _assign(self, target: ast.expr, labels: frozenset[str]) -> None:
+        if isinstance(target, ast.Name):
+            if labels:
+                self.labels[target.id] = (
+                    self.labels.get(target.id, frozenset()) | labels
+                )
+            else:
+                self.labels.pop(target.id, None)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._assign(elt, labels)
+
+    def propagate(self, body: list[ast.stmt]) -> None:
+        module = ast.Module(body=body, type_ignores=[])
+        for _ in range(2):
+            for stmt in walk_function(module):
+                if isinstance(stmt, ast.Assign):
+                    labels = self.labels_of(stmt.value)
+                    for target in stmt.targets:
+                        self._assign(target, labels)
+                elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                    self._assign(stmt.target, self.labels_of(stmt.value))
+                elif isinstance(stmt, ast.AugAssign):
+                    labels = self.labels_of(stmt.value)
+                    if labels:
+                        self._assign(stmt.target, labels)
+                elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                    labels = self.labels_of(stmt.iter)
+                    if labels:
+                        self._assign(stmt.target, labels)
+
+
+# ---------------------------------------------------------------------------
+# summary computation
+# ---------------------------------------------------------------------------
+
+
+def _summarize(
+    info: FunctionInfo,
+    index: ProjectIndex,
+    summaries: dict[str, FunctionSummary],
+    quench: QuenchFn | None,
+) -> FunctionSummary:
+    # Imported here, not at module level: rules.py imports callgraph, and
+    # callgraph imports this module lazily from build() — keep the cycle
+    # runtime-only.
+    from repro.analysis.pivotlint.rules import (
+        _BARRIER_CALLS,
+        _LOG_SINKS,
+        _MATERIALIZERS,
+        _SEND_CALLS,
+        _WIRE_SINKS,
+        scan_open_send,
+    )
+
+    def quenched(code: str, node: ast.AST) -> bool:
+        if quench is None:
+            return False
+        line = getattr(node, "lineno", 0)
+        end = getattr(node, "end_lineno", None) or line
+        return any(
+            quench(info.relpath, code, lineno) for lineno in range(line, end + 1)
+        )
+
+    params = frozenset(info.params)
+    engine = LabelEngine(index, summaries, info.params)
+    engine.propagate(info.node.body)
+
+    summary = FunctionSummary(qualkey=info.qualkey)
+    taint_params: set[str] = set()
+    reads: set[str] = set()
+
+    for sub in walk_function(info.node):
+        if isinstance(sub, ast.Return) and sub.value is not None:
+            labels = engine.labels_of(sub.value)
+            if labels and not quenched("PL002", sub):
+                if SECRET in labels:
+                    summary.returns_secret = True
+                taint_params |= labels & params
+        elif isinstance(sub, ast.Call):
+            _scan_call_for_summary(
+                sub,
+                info,
+                index,
+                summaries,
+                engine,
+                summary,
+                params,
+                reads,
+                quenched,
+                _WIRE_SINKS,
+                _LOG_SINKS,
+                _MATERIALIZERS,
+            )
+        elif isinstance(sub, ast.JoinedStr):
+            if quenched("PL002", sub):
+                continue
+            for value in sub.values:
+                if isinstance(value, ast.FormattedValue):
+                    labels = engine.labels_of(value.value)
+                    for param in labels & params:
+                        summary.sink_params.setdefault(
+                            param, "an f-string (log/exception-message sink)"
+                        )
+        elif isinstance(sub, ast.Subscript) and isinstance(sub.ctx, ast.Load):
+            reads |= engine.labels_of(sub.value) & params
+        elif isinstance(sub, (ast.For, ast.AsyncFor)):
+            reads |= engine.labels_of(sub.iter) & params
+        elif isinstance(
+            sub, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+        ):
+            for gen in sub.generators:
+                reads |= engine.labels_of(gen.iter) & params
+
+    def classify(call: ast.Call) -> str | None:
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            return None
+        if func.attr in _SEND_CALLS:
+            return "send"
+        if func.attr in _BARRIER_CALLS:
+            return "barrier"
+        return None
+
+    summary.open_send = scan_open_send(info.node.body, classify) is not None
+    for sub in walk_function(info.node):
+        if isinstance(sub, ast.Call) and isinstance(sub.func, ast.Attribute):
+            if sub.func.attr in _SEND_CALLS:
+                summary.does_send = True
+            elif sub.func.attr in _BARRIER_CALLS:
+                summary.has_barrier = True
+
+    summary.taint_params = frozenset(taint_params)
+    summary.reads_params = frozenset(reads)
+    if "tag" in params:
+        _scan_tag_forwarding(info, index, summaries, engine, summary)
+    return summary
+
+
+def _scan_call_for_summary(
+    call: ast.Call,
+    info: FunctionInfo,
+    index: ProjectIndex,
+    summaries: dict[str, FunctionSummary],
+    engine: LabelEngine,
+    summary: FunctionSummary,
+    params: frozenset[str],
+    reads: set[str],
+    quenched: Callable[[str, ast.AST], bool],
+    wire_sinks: frozenset[str],
+    log_sinks: frozenset[str],
+    materializers: frozenset[str],
+) -> None:
+    func = call.func
+    sink = None
+    if isinstance(func, ast.Attribute):
+        if func.attr in wire_sinks:
+            sink = f"wire sink `.{func.attr}(...)`"
+        elif func.attr in log_sinks:
+            sink = f"log sink `.{func.attr}(...)`"
+        if func.attr == "read":
+            reads |= engine.labels_of(func.value) & params
+        if func.attr in materializers and call.args:
+            reads |= engine.labels_of(call.args[0]) & params
+    elif isinstance(func, ast.Name) and func.id in ("print", "repr"):
+        sink = f"{func.id}() sink"
+    if sink is not None and not quenched("PL002", call):
+        for arg in list(call.args) + [kw.value for kw in call.keywords]:
+            for param in engine.labels_of(arg) & params:
+                summary.sink_params.setdefault(param, sink)
+    # transitive: an argument forwarded into a callee's sink or data read.
+    for callee in index.resolve_call(call):
+        callee_summary = summaries.get(callee.qualkey)
+        if callee_summary is None or callee.qualkey == info.qualkey:
+            continue
+        mapping = None
+        if callee_summary.sink_params and not quenched("PL002", call):
+            mapping = map_args(call, callee)
+            for callee_param, description in callee_summary.sink_params.items():
+                arg = mapping.get(callee_param)
+                if arg is None:
+                    continue
+                for param in engine.labels_of(arg) & params:
+                    summary.sink_params.setdefault(param, description)
+        if callee_summary.reads_params:
+            if mapping is None:
+                mapping = map_args(call, callee)
+            for callee_param in callee_summary.reads_params:
+                arg = mapping.get(callee_param)
+                if arg is not None:
+                    reads |= engine.labels_of(arg) & params
+
+
+def _scan_tag_forwarding(
+    info: FunctionInfo,
+    index: ProjectIndex,
+    summaries: dict[str, FunctionSummary],
+    engine: LabelEngine,
+    summary: FunctionSummary,
+) -> None:
+    for sub in walk_function(info.node):
+        if not isinstance(sub, ast.Call):
+            continue
+        func = sub.func
+        args = list(sub.args) + [kw.value for kw in sub.keywords]
+        carries_tag = any("tag" in engine.labels_of(arg) for arg in args)
+        if not carries_tag:
+            continue
+        if isinstance(func, ast.Attribute):
+            if func.attr in _TAG_SEND_CALLS:
+                summary.forwards_tag_to_send = True
+            elif func.attr in _RECEIVE_CALLS:
+                summary.forwards_tag_to_receive = True
+        for callee in index.resolve_call(sub):
+            callee_summary = summaries.get(callee.qualkey)
+            if callee_summary is None or callee.qualkey == info.qualkey:
+                continue
+            mapping = map_args(sub, callee)
+            arg = mapping.get("tag")
+            if arg is not None and "tag" in engine.labels_of(arg):
+                summary.forwards_tag_to_send |= (
+                    callee_summary.forwards_tag_to_send
+                )
+                summary.forwards_tag_to_receive |= (
+                    callee_summary.forwards_tag_to_receive
+                )
+
+
+def compute_summaries(
+    index: ProjectIndex, quench: QuenchFn | None = None, max_rounds: int = 4
+) -> None:
+    """Fill ``index.summaries`` by fixpoint iteration.
+
+    Round 1 sees every function's intraprocedural facts; each further
+    round lets taint chain one call deeper.  Privacy-relevant call chains
+    in this tree are shallow — ``max_rounds`` bounds the worst case, the
+    early break handles the common one.
+    """
+    index.summaries = {
+        info.qualkey: FunctionSummary(qualkey=info.qualkey)
+        for info in index.functions
+    }
+    for _ in range(max_rounds):
+        changed = False
+        fresh: dict[str, FunctionSummary] = {}
+        for info in index.functions:
+            summary = _summarize(info, index, index.summaries, quench)
+            if summary != index.summaries[info.qualkey]:
+                changed = True
+            fresh[info.qualkey] = summary
+        index.summaries = fresh
+        if not changed:
+            break

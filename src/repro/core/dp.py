@@ -42,8 +42,8 @@ class DPMechanisms:
     # Algorithm 5
     # ------------------------------------------------------------------
 
-    def laplace_sample(self, mu: float, scale: float) -> SharedValue:
-        """⟨X⟩ ~ Lap(mu, scale), nobody learns the noise (Algorithm 5)."""
+    def laplace_sample(self, mean: float, scale: float) -> SharedValue:
+        """⟨X⟩ ~ Lap(mean, scale), nobody learns the noise (Algorithm 5)."""
         fx = self.fx
         engine = fx.engine
         # Line 1: uniform ⟨U⟩ in (-1/2, 1/2).
@@ -54,12 +54,12 @@ class DPMechanisms:
         negative = fx.ltz(u)  # ⟨1⟩ iff U < 0
         sign = engine.add_public(negative * (-2), 1)  # 1 - 2·neg = ±1
         magnitude = engine.mul(sign, u)  # |U|
-        # Line 9: X = mu - b·sign·ln(1 - 2|U|); the 2^-F nudge keeps the
+        # Line 9: X = mean - b·sign·ln(1 - 2|U|); the 2^-F nudge keeps the
         # argument strictly positive on the sampling grid.
         inner = fx.share(1.0) - magnitude * 2 + fx.share(2.0**-fx.f)
         log_term = fx.ln(inner)
         noise = fx.mul_public(engine.mul(sign, log_term), scale)
-        return fx.share(mu) - noise
+        return fx.share(mean) - noise
 
     def laplace_noise(self, sensitivity: float) -> SharedValue:
         """⟨Lap(Δ/ε)⟩ for this budget's per-query ε."""

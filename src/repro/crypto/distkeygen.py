@@ -68,6 +68,7 @@ from repro.crypto.threshold import ThresholdKeyShare
 
 __all__ = [
     "BIPRIME_ROUNDS",
+    "KEYGEN_TAG_PREFIX",
     "KeygenError",
     "KeygenMessage",
     "KeygenParty",
@@ -75,6 +76,13 @@ __all__ = [
     "sieve_primes",
     "jacobi",
 ]
+
+#: Every wire tag a keygen state machine emits starts with this prefix.
+#: The bus driver (:func:`repro.network.flows.run_distributed_keygen`)
+#: relies on it to tell keygen waves apart from foreign traffic — e.g. an
+#: orchestrator's first control frame racing into a party's inbox before
+#: her final wave has unblocked.
+KEYGEN_TAG_PREFIX = "kg-"
 
 #: Trial-division bound for the candidate sieve (residues of the shares
 #: for every odd prime up to this bound are broadcast).

@@ -82,7 +82,13 @@ class PaillierEncoder:
         scaled = Fraction(value) * (Fraction(2) ** (-exponent))
         encoding = round(scaled)
         if abs(encoding) > self.public_key.max_int:
-            raise OverflowError(f"value {value} too large for the plaintext space")
+            # The value itself stays out of the message: encode() runs on
+            # secret inputs (shares, labels) and exception text reaches logs.
+            raise OverflowError(
+                f"encoded value needs more than the plaintext space's "
+                f"~2^{self.public_key.max_int.bit_length()} range at "
+                f"exponent {exponent}"
+            )
         return EncodedNumber(encoding, exponent)
 
     def decode(self, encoded: EncodedNumber) -> float:

@@ -48,6 +48,8 @@ Submodules import lazily (PEP 562) because :mod:`repro.core` imports
 :mod:`repro.core` — eager imports would cycle.
 """
 
+from typing import Any
+
 from repro.federation.locality import (
     LocalityError,
     LocalView,
@@ -88,7 +90,7 @@ _LAZY = {
 }
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> Any:
     module_name = _LAZY.get(name)
     if module_name is None:
         raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -63,6 +63,7 @@ import multiprocessing
 import time
 import traceback
 from dataclasses import replace
+from typing import Any, NoReturn
 
 import numpy as np
 
@@ -92,7 +93,9 @@ class RemoteOpError(RuntimeError):
 # ---------------------------------------------------------------------------
 
 
-def _party_worker(conn, index: int, features: np.ndarray, strict: bool) -> None:
+def _party_worker(
+    conn: Any, index: int, features: np.ndarray, strict: bool
+) -> None:
     """One party's process: her columns, her key share, her local compute.
 
     Runs a command loop over the process pipe.  Every feature read happens
@@ -106,10 +109,10 @@ def _party_worker(conn, index: int, features: np.ndarray, strict: bool) -> None:
     # The sanctioned local-computation surface over this party's columns;
     # split_values stay empty (the logistic ops don't use them).
     local_client = PivotClient(index=index, features=view, split_values=[])
-    key_share = None
+    key_share: Any = None
     split_values: list[list[float]] | None = None
 
-    def compute(op: str, kw: dict):
+    def compute(op: str, kw: dict) -> Any:
         nonlocal key_share, split_values
         if op == "info":
             return {
@@ -209,12 +212,12 @@ class PartyProcess:
         strict: bool = True,
         start_method: str = "spawn",
         timeout: float = 120.0,
-    ):
+    ) -> None:
         self.index = index
         self.timeout = timeout
         ctx = multiprocessing.get_context(start_method)
         self._conn, child = ctx.Pipe()
-        self._proc = ctx.Process(
+        self._proc: Any = ctx.Process(
             target=_party_worker,
             args=(child, index, np.ascontiguousarray(features), strict),
             name=f"pivot-party-{index}",
@@ -223,7 +226,7 @@ class PartyProcess:
         self._proc.start()
         child.close()
 
-    def request(self, op: str, **kwargs):
+    def request(self, op: str, **kwargs: Any) -> Any:
         """Run one party-local operation in the worker; return its output."""
         if self._proc is None:
             raise RemoteOpError(f"party {self.index} worker already shut down")
@@ -289,7 +292,7 @@ class RemotePivotClient:
         split_values: list[list[float]],
         n_samples: int,
         n_features: int,
-    ):
+    ) -> None:
         self.index = index
         self.worker = worker
         self.split_values = split_values
@@ -299,7 +302,7 @@ class RemotePivotClient:
     def n_features(self) -> int:
         return self.features.shape[1]
 
-    def local(self):
+    def local(self) -> Any:
         return as_party(self.index)
 
     def n_splits(self, feature: int) -> int:
@@ -321,7 +324,7 @@ class RemotePivotClient:
         decrypt flow's share vectors are real remote computations."""
         return self.worker.request("partial_decrypt", ciphertexts=ciphertexts)
 
-    def _counted(self, op: str, **kwargs):
+    def _counted(self, op: str, **kwargs: Any) -> Any:
         """Run a homomorphic worker op and absorb its op-count delta, so
         the orchestrator's Ce/Cd tallies match the in-memory run."""
         reply = self.worker.request(op, **kwargs)
@@ -352,7 +355,7 @@ class _RemoteColumns:
 
     __slots__ = ("owner", "shape")
 
-    def __init__(self, owner: int, shape: tuple[int, int]):
+    def __init__(self, owner: int, shape: tuple[int, int]) -> None:
         self.owner = owner
         self.shape = shape
 
@@ -363,7 +366,7 @@ class _RemoteColumns:
     def __len__(self) -> int:
         return self.shape[0]
 
-    def _refuse(self):
+    def _refuse(self) -> NoReturn:
         raise RemoteOpError(
             f"party {self.owner}'s raw columns live in her worker process; "
             f"this process holds no such array (only protocol-level outputs "
@@ -373,10 +376,10 @@ class _RemoteColumns:
     def read(self) -> np.ndarray:
         self._refuse()
 
-    def __getitem__(self, key):
+    def __getitem__(self, key: Any) -> Any:
         self._refuse()
 
-    def __array__(self, dtype=None, copy=None):
+    def __array__(self, dtype: Any = None, copy: bool | None = None) -> np.ndarray:
         self._refuse()
 
     def __repr__(self) -> str:
@@ -403,9 +406,9 @@ class DeployedFederation(Federation):
         task: str = "classification",
         config: PivotConfig | None = None,
         strict_locality: bool | None = None,
-        transport="asyncio",
+        transport: Any = "asyncio",
         start_method: str = "spawn",
-    ):
+    ) -> None:
         super_client = self._validate_parties(parties)
         resolved = _resolve_config(config, strict_locality)
         partition = self._partition_of(parties, task, super_client)
@@ -481,10 +484,10 @@ class DeployedFederation(Federation):
     @classmethod
     def from_partition(
         cls,
-        partition,
-        config=None,
-        strict_locality=None,
-        transport="asyncio",
+        partition: Any,
+        config: PivotConfig | None = None,
+        strict_locality: bool | None = None,
+        transport: Any = "asyncio",
     ) -> "DeployedFederation":
         """Deploy from a legacy partition object.
 
@@ -525,6 +528,6 @@ class DeployedFederation(Federation):
         super().close()
 
 
-def deploy(parties: list[Party], **kwargs) -> DeployedFederation:
+def deploy(parties: list[Party], **kwargs: Any) -> DeployedFederation:
     """Launch a per-party process deployment (sugar for the class)."""
     return DeployedFederation(parties, **kwargs)

@@ -43,6 +43,8 @@ sends are consumed by their receivers, not accumulated.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
 from repro.core.config import DPConfig, PivotConfig
@@ -80,7 +82,7 @@ class _FederatedEstimator:
         self,
         *,
         protocol: str | None = None,
-        dp=_UNSET,
+        dp: Any = _UNSET,
         malicious: bool = False,
         keysize: int | None = None,
         tree: TreeParams | None = None,
@@ -88,7 +90,7 @@ class _FederatedEstimator:
         max_splits: int | None = None,
         seed: int | None = None,
         config: PivotConfig | None = None,
-    ):
+    ) -> None:
         if protocol not in (None, "basic", "enhanced"):
             raise ValueError(f"unknown protocol {protocol!r}")
         if malicious and not self._supports_malicious:
@@ -125,8 +127,8 @@ class _FederatedEstimator:
         self.tree = tree
         self.config = config
         # Set by fit():
-        self.federation_: Federation | None = None
-        self.ctx_ = None
+        self.federation_: Any = None
+        self.ctx_: Any = None
         self.protocol_: str | None = None  # resolved at fit time
         self.dp_: DPConfig | None = None
         self._owns_federation = False
@@ -150,7 +152,7 @@ class _FederatedEstimator:
 
         return replace(base, **kwargs)
 
-    def _resolve(self, federation) -> None:
+    def _resolve(self, federation: Any) -> None:
         if isinstance(federation, Federation):
             # Setup-level parameters are fixed at key/candidate-split
             # generation and cannot be retrofitted onto a prepared
@@ -205,7 +207,7 @@ class _FederatedEstimator:
         if self.ctx_ is None:
             raise RuntimeError("fit() must be called before predict()/score()")
 
-    def _as_party_slices(self, X) -> list[np.ndarray]:
+    def _as_party_slices(self, X: Any) -> list[np.ndarray]:
         """Accept per-party blocks, or split a caller-held global matrix."""
         self._require_fitted()
         if isinstance(X, (list, tuple)):
@@ -215,20 +217,20 @@ class _FederatedEstimator:
 
     # -- sklearn-style surface ------------------------------------------------
 
-    def fit(self, federation) -> "_FederatedEstimator":
+    def fit(self, federation: Any) -> "_FederatedEstimator":
         """Train over a Federation (or assemble one from a party list)."""
         self._resolve(federation)
         self._fit(self.ctx_)
         self.federation_.assert_drained()
         return self
 
-    def predict(self, X) -> np.ndarray:
+    def predict(self, X: Any) -> np.ndarray:
         self._require_fitted()
         out = self._predict(self._as_party_slices(X))
         self.federation_.assert_drained()
         return out
 
-    def score(self, X, y) -> float:
+    def score(self, X: Any, y: Any) -> float:
         """Accuracy (classifiers) or R² (regressors)."""
         y = np.asarray(y)
         predictions = self.predict(X)
@@ -243,15 +245,15 @@ class _FederatedEstimator:
         if self._owns_federation and self.federation_ is not None:
             self.federation_.close()
 
-    def __enter__(self):
+    def __enter__(self) -> "_FederatedEstimator":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: Any) -> None:
         self.close()
 
     # -- subclass hooks -------------------------------------------------------
 
-    def _fit(self, ctx) -> None:
+    def _fit(self, ctx: Any) -> None:
         raise NotImplementedError
 
     def _predict(self, party_slices: list[np.ndarray]) -> np.ndarray:
@@ -261,11 +263,10 @@ class _FederatedEstimator:
 class _TreeEstimator(_FederatedEstimator):
     """Single decision tree (Algorithm 3), basic or enhanced protocol."""
 
-    def _fit(self, ctx) -> None:
-        if self.malicious:
-            trainer = MaliciousPivotDecisionTree(ctx)
-        else:
-            trainer = TreeTrainer(ctx)
+    def _fit(self, ctx: Any) -> None:
+        trainer: Any = (
+            MaliciousPivotDecisionTree(ctx) if self.malicious else TreeTrainer(ctx)
+        )
         self.model_ = trainer.fit()
         if self._task == "classification":
             self.n_classes_ = trainer.provider.n_classes
@@ -305,14 +306,14 @@ class PivotForestClassifier(_FederatedEstimator):
         *,
         sample_fraction: float = 0.8,
         sample_seed: int | None = None,
-        **kwargs,
-    ):
+        **kwargs: Any,
+    ) -> None:
         super().__init__(**kwargs)
         self.n_trees = n_trees
         self.sample_fraction = sample_fraction
         self.sample_seed = sample_seed
 
-    def _fit(self, ctx) -> None:
+    def _fit(self, ctx: Any) -> None:
         factory = MaliciousPivotDecisionTree if self.malicious else TreeTrainer
         self.trainer_ = ForestTrainer(
             ctx,
@@ -339,14 +340,14 @@ class _GBDTEstimator(_FederatedEstimator):
         *,
         learning_rate: float = 0.3,
         use_softmax: bool = True,
-        **kwargs,
-    ):
+        **kwargs: Any,
+    ) -> None:
         super().__init__(**kwargs)
         self.n_rounds = n_rounds
         self.learning_rate = learning_rate
         self.use_softmax = use_softmax
 
-    def _fit(self, ctx) -> None:
+    def _fit(self, ctx: Any) -> None:
         self.trainer_ = GBDTTrainer(
             ctx,
             n_rounds=self.n_rounds,
@@ -389,14 +390,14 @@ class PivotLogisticClassifier(_FederatedEstimator):
         learning_rate: float = 0.5,
         n_epochs: int = 3,
         batch_size: int = 16,
-        **kwargs,
-    ):
+        **kwargs: Any,
+    ) -> None:
         super().__init__(**kwargs)
         self.learning_rate = learning_rate
         self.n_epochs = n_epochs
         self.batch_size = batch_size
 
-    def _fit(self, ctx) -> None:
+    def _fit(self, ctx: Any) -> None:
         self.trainer_ = LogisticTrainer(
             ctx,
             learning_rate=self.learning_rate,
@@ -407,7 +408,7 @@ class PivotLogisticClassifier(_FederatedEstimator):
     def _predict(self, party_slices: list[np.ndarray]) -> np.ndarray:
         return self.trainer_.predict_slices(party_slices)
 
-    def predict_proba(self, X) -> np.ndarray:
+    def predict_proba(self, X: Any) -> np.ndarray:
         self._require_fitted()
         out = self.trainer_.predict_proba_slices(self._as_party_slices(X))
         self.federation_.assert_drained()

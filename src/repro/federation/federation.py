@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import copy
 from dataclasses import replace
+from typing import Any
 
 import numpy as np
 
@@ -72,8 +73,8 @@ class Federation:
         task: str = "classification",
         config: PivotConfig | None = None,
         strict_locality: bool | None = None,
-        transport=None,
-    ):
+        transport: Any = None,
+    ) -> None:
         super_client = self._validate_parties(parties)
         partition = self._partition_of(parties, task, super_client)
         self._assemble(parties, partition, config, strict_locality, transport)
@@ -136,7 +137,7 @@ class Federation:
         partition: VerticalPartition,
         config: PivotConfig | None,
         strict_locality: bool | None,
-        transport,
+        transport: Any,
         remote_clients: dict[int, object] | None = None,
         local_parties: tuple[int, ...] | None = None,
     ) -> None:
@@ -165,7 +166,7 @@ class Federation:
         partition: VerticalPartition,
         config: PivotConfig | None = None,
         strict_locality: bool | None = None,
-        transport=None,
+        transport: Any = None,
     ) -> "Federation":
         """Bridge from the legacy partition object (simulation datasets).
 
@@ -193,7 +194,7 @@ class Federation:
         super_client: int = 0,
         config: PivotConfig | None = None,
         strict_locality: bool | None = None,
-        transport=None,
+        transport: Any = None,
     ) -> "Federation":
         """Split a caller-held global matrix evenly over ``n_parties``."""
         partition = vertical_partition(
@@ -261,7 +262,7 @@ class Federation:
     def context_for(
         self,
         protocol: str | None = None,
-        dp=None,
+        dp: Any = None,
         malicious: bool | None = None,
     ) -> PivotContext:
         """A context view with estimator-level switches applied.
@@ -273,7 +274,7 @@ class Federation:
         from preprocessing onward and cannot be retrofitted.
         """
         cfg = self.config
-        overrides = {}
+        overrides: dict[str, Any] = {}
         if protocol is not None and protocol != cfg.protocol:
             overrides["protocol"] = protocol
         if dp is not cfg.dp:
@@ -306,7 +307,7 @@ class Federation:
     def __enter__(self) -> "Federation":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: Any) -> None:
         self.close()
 
     def __repr__(self) -> str:

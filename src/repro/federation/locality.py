@@ -32,6 +32,7 @@ from __future__ import annotations
 import os
 import threading
 from contextlib import contextmanager
+from typing import Any, Iterator
 
 import numpy as np
 
@@ -62,7 +63,7 @@ def current_party() -> int | None:
 
 
 @contextmanager
-def as_party(index: int):
+def as_party(index: int) -> Iterator[None]:
     """Execute a block as party ``index`` (innermost scope wins).
 
     Nesting the same party is a no-op; nesting a *different* party is
@@ -116,7 +117,7 @@ class LocalView:
         *,
         name: str = "features",
         strict: bool = False,
-    ):
+    ) -> None:
         self._array = np.asarray(array)
         self.owner = owner
         self.name = name
@@ -133,7 +134,7 @@ class LocalView:
         return self._array.ndim
 
     @property
-    def dtype(self):
+    def dtype(self) -> np.dtype:
         return self._array.dtype
 
     def __len__(self) -> int:
@@ -166,11 +167,13 @@ class LocalView:
         self._check()
         return self._array
 
-    def __getitem__(self, key):
+    def __getitem__(self, key: Any) -> Any:
         self._check()
         return self._array[key]
 
-    def __array__(self, dtype=None, copy=None):
+    def __array__(
+        self, dtype: Any = None, copy: bool | None = None
+    ) -> np.ndarray:
         self._check()
         if copy is False:
             # An explicit no-copy request aliases the backing store — the

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import secrets
 from dataclasses import dataclass
+from typing import Any, Callable
 
 import numpy as np
 
@@ -54,23 +55,23 @@ class PartyEndpoint:
     addresses messages *from herself* and reads *her own* inbox).
     """
 
-    bus: object
+    bus: Any
     index: int
 
-    def send(self, receiver: int, payload, tag: str = "") -> int:
+    def send(self, receiver: int, payload: Any, tag: str = "") -> int:
         """Serialize and route ``payload`` to ``receiver``; returns bytes."""
         # pivotlint: disable=PL005 -- single-party transport primitive: the
         # round barrier belongs to the protocol flow driving all m parties
         # (flows.py / the reactive services), not to one party's send.
         return self.bus.send_payload(self.index, receiver, payload, tag=tag)
 
-    def broadcast(self, payload, tag: str = "") -> int:
+    def broadcast(self, payload: Any, tag: str = "") -> int:
         """Send ``payload`` to every other party; returns per-receiver bytes."""
         # pivotlint: disable=PL005 -- single-party transport primitive: the
         # caller's protocol flow owns the round barrier (see send above).
         return self.bus.broadcast_payload(self.index, payload, tag=tag)
 
-    def receive(self, tag: str | None = None):
+    def receive(self, tag: str | None = None) -> Any:
         """Pop and decode this party's oldest pending message."""
         return self.bus.receive(self.index, tag=tag)
 
@@ -111,10 +112,10 @@ class PartyService:
     def __init__(
         self,
         endpoint: PartyEndpoint,
-        key_share=None,
-        compute_shares=None,
-        parallel_map=None,
-    ):
+        key_share: Any = None,
+        compute_shares: Callable[[list[int]], Any] | None = None,
+        parallel_map: Callable[..., Any] | None = None,
+    ) -> None:
         if key_share is None and compute_shares is None:
             raise ValueError(
                 "a PartyService needs a key share or a compute_shares hook"
@@ -155,6 +156,8 @@ class PartyService:
                 f"expected {count}"
             )
         vector = self.decryption_shares(batch)
+        # pivotlint: disable=PL005 -- reactive reply: the requesting
+        # flow (record_threshold_decrypt) owns the round barrier.
         self.endpoint.broadcast(vector, tag=tag)
         return vector
 
@@ -162,6 +165,8 @@ class PartyService:
         """The request holder's half: she already has the batch in hand —
         compute her own share vector and broadcast it like everyone else."""
         vector = self.decryption_shares(batch)
+        # pivotlint: disable=PL005 -- reactive reply: the requesting
+        # flow (record_threshold_decrypt) owns the round barrier.
         self.endpoint.broadcast(vector, tag=tag)
         return vector
 
@@ -203,13 +208,13 @@ class PartyRuntime(PartyService):
         self,
         endpoint: PartyEndpoint,
         *,
-        client=None,
-        engine=None,
+        client: Any = None,
+        engine: Any = None,
         field_q: int | None = None,
-        key_share=None,
-        compute_shares=None,
-        parallel_map=None,
-    ):
+        key_share: Any = None,
+        compute_shares: Callable[[list[int]], Any] | None = None,
+        parallel_map: Callable[..., Any] | None = None,
+    ) -> None:
         super().__init__(
             endpoint,
             key_share=key_share,
@@ -235,7 +240,7 @@ class PartyRuntime(PartyService):
         self.handle(sender, tag, payload)
         return sender, tag, payload
 
-    def handle(self, sender: int, tag: str, payload) -> str:
+    def handle(self, sender: int, tag: str, payload: Any) -> str:
         """Dispatch one received message; returns the reaction kind.
 
         * a :class:`~repro.network.wire.Request` → the matching ``_op_*``
@@ -263,6 +268,8 @@ class PartyRuntime(PartyService):
             and isinstance(payload[0], (Ciphertext, EncryptedNumber))
         ):
             vector = self.decryption_shares(list(payload))
+            # pivotlint: disable=PL005 -- reactive reply: the decrypt
+            # requester's flow owns the round barrier.
             self.endpoint.broadcast(vector, tag=tag)
             return "decrypt"
         return "sink"
@@ -336,6 +343,8 @@ class PartyRuntime(PartyService):
             gam_left = [self.engine.mask_vector(g, v_left) for g in gammas]
             gam_right = [self.engine.mask_vector(g, v_right) for g in gammas]
         body = [node_key, threshold, alpha_left, alpha_right, gam_left, gam_right]
+        # pivotlint: disable=PL005 -- reactive reply: the split-apply
+        # request came from the trainer's flow, which owns the barrier.
         self.endpoint.broadcast(Request("node-split", body), tag="mask-vector")
         self.store_split(body)
         return body
@@ -417,7 +426,7 @@ class Party:
         *,
         labels: np.ndarray | None = None,
         name: str | None = None,
-    ):
+    ) -> None:
         features = np.asarray(features, dtype=np.float64)
         if features.ndim != 2:
             raise ValueError("party features must be a 2-D (n x d_i) array")
@@ -433,7 +442,7 @@ class Party:
         # Assigned by Federation._bind():
         self.index: int | None = None
         self.columns: tuple[int, ...] | None = None
-        self.key_share = None
+        self.key_share: Any = None
         self.endpoint: PartyEndpoint | None = None
         self._features_view: LocalView | None = None
         self._labels_view: LocalView | None = None
@@ -468,7 +477,7 @@ class Party:
         columns: tuple[int, ...],
         features_view: LocalView,
         labels_view: LocalView | None,
-        key_share,
+        key_share: Any,
         endpoint: PartyEndpoint,
     ) -> None:
         self.index = index
@@ -479,20 +488,20 @@ class Party:
         self.endpoint = endpoint
 
     @property
-    def features(self):
+    def features(self) -> Any:
         """This party's columns: a read-guarded view once federated."""
         if self._features_view is not None:
             return self._features_view
         return self._raw_features
 
     @property
-    def labels(self):
+    def labels(self) -> Any:
         """The label vector (super client only), read-guarded once federated."""
         if self._labels_view is not None:
             return self._labels_view
         return self._raw_labels
 
-    def local(self):
+    def local(self) -> Any:
         """Scope marking a block as this party's own computation."""
         if self.index is None:
             raise RuntimeError("party is not federated yet")

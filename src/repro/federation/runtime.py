@@ -57,6 +57,7 @@ import sys
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Any, Callable, NoReturn
 
 import numpy as np
 
@@ -74,7 +75,7 @@ from repro.federation.federation import Federation
 from repro.federation.locality import LocalView, as_party
 from repro.federation.party import Party, PartyEndpoint, PartyRuntime
 from repro.mpc.field import MERSENNE_127
-from repro.network.bus import MessageBus
+from repro.network.bus import CONTROL_TAG_PREFIX, MessageBus
 from repro.network.flows import run_distributed_keygen
 from repro.network.transport import PeerTransport
 from repro.network.wire import Request, WireCodec
@@ -287,7 +288,7 @@ def write_party_configs(
     n_parties: int = 3,
     key_state: bool = False,
     max_idle: float | None = 300.0,
-    **overrides,
+    **overrides: Any,
 ) -> list[Path]:
     """Write one ``partyN.toml`` per party; returns the paths in index order.
 
@@ -365,7 +366,7 @@ class StandalonePartyRuntime:
     does is a reaction in :meth:`serve`.
     """
 
-    def __init__(self, config: RuntimeConfig):
+    def __init__(self, config: RuntimeConfig) -> None:
         if config.is_orchestrator:
             raise ValueError(
                 "the super client's process is the RuntimeFederation "
@@ -465,7 +466,11 @@ class StandalonePartyRuntime:
         return result.public_key, result.share, result.theta
 
     def _save_key_state(
-        self, path: Path, public_key: PaillierPublicKey, share, theta: int
+        self,
+        path: Path,
+        public_key: PaillierPublicKey,
+        share: Any,
+        theta: int,
     ) -> None:
         """Persist this party's own key material to her own disk.
 
@@ -541,13 +546,13 @@ class StandalonePartyRuntime:
                     break
                 continue
             idle_since = time.monotonic()
-            if tag.startswith("ctl-"):
+            if tag.startswith(CONTROL_TAG_PREFIX):
                 self._answer_control(sender, tag, payload)
             else:
                 self.bus.consumed += 1
                 self.runtime.handle(sender, tag, payload)
 
-    def _answer_control(self, sender: int, tag: str, payload) -> None:
+    def _answer_control(self, sender: int, tag: str, payload: Any) -> None:
         if not isinstance(payload, Request) or payload.op != tag:
             raise ValueError(
                 f"party {self.index}: malformed control frame {tag!r}"
@@ -607,7 +612,7 @@ class _StandaloneColumns:
     process, reachable solely through her sanctioned protocol reactions.
     """
 
-    def __init__(self, owner: int, shape: tuple[int, int]):
+    def __init__(self, owner: int, shape: tuple[int, int]) -> None:
         self.owner = owner
         self.shape = shape
 
@@ -618,7 +623,7 @@ class _StandaloneColumns:
     def __len__(self) -> int:
         return self.shape[0]
 
-    def _refuse(self):
+    def _refuse(self) -> NoReturn:
         raise RuntimeError(
             f"party {self.owner}'s columns live in her standalone runtime "
             "process; the orchestrator holds no copy to read"
@@ -627,10 +632,10 @@ class _StandaloneColumns:
     def read(self) -> np.ndarray:
         self._refuse()
 
-    def __getitem__(self, key):
+    def __getitem__(self, key: Any) -> Any:
         self._refuse()
 
-    def __array__(self, dtype=None, copy=None):
+    def __array__(self, dtype: Any = None, copy: bool | None = None) -> np.ndarray:
         self._refuse()
 
     def __repr__(self) -> str:
@@ -650,12 +655,13 @@ class StandalonePartyClient:
     refuses them all.
     """
 
-    def __init__(self, index: int, shape: tuple[int, int]):
+    def __init__(self, index: int, shape: tuple[int, int]) -> None:
         self.index = index
         self.features = _StandaloneColumns(index, shape)
         self._shape = shape
         self._split_counts: list[int] | None = None
-        self._fetch = None  # bound to RuntimeFederation._control
+        #: bound to RuntimeFederation._control
+        self._fetch: Callable[..., Any] | None = None
 
     @property
     def n_features(self) -> int:
@@ -677,7 +683,7 @@ class StandalonePartyClient:
             self._split_counts = [int(c) for c in counts]
         return self._split_counts[feature]
 
-    def _refuse(self, what: str):
+    def _refuse(self, what: str) -> NoReturn:
         raise NotImplementedError(
             f"{what} is party {self.index}'s local computation; in the "
             "standalone topology it runs in her own process as a protocol "
@@ -685,22 +691,24 @@ class StandalonePartyClient:
         )
 
     @property
-    def split_values(self):
+    def split_values(self) -> NoReturn:
         self._refuse("split_values")
 
-    def indicator(self, feature: int, split: int):
+    def indicator(self, feature: int, split: int) -> NoReturn:
         self._refuse("indicator")
 
-    def indicator_matrix(self, feature: int):
+    def indicator_matrix(self, feature: int) -> NoReturn:
         self._refuse("indicator_matrix")
 
-    def local_row(self, t: int):
+    def local_row(self, t: int) -> NoReturn:
         self._refuse("local_row")
 
-    def batch_sums(self, rows, weights):
+    def batch_sums(self, rows: Any, weights: Any) -> NoReturn:
         self._refuse("batch_sums")
 
-    def weight_update(self, rows, weights, loss_cts, scale):
+    def weight_update(
+        self, rows: Any, weights: Any, loss_cts: Any, scale: Any
+    ) -> NoReturn:
         self._refuse("weight_update")
 
 
@@ -721,7 +729,7 @@ class RuntimeFederation(Federation):
     keygen blocks until all m machines participate.
     """
 
-    def __init__(self, config: RuntimeConfig):
+    def __init__(self, config: RuntimeConfig) -> None:
         if not config.is_orchestrator:
             raise ValueError(
                 f"RuntimeFederation is the super client's process; this "
@@ -846,7 +854,12 @@ class RuntimeFederation(Federation):
 
     # -- federation API overrides ------------------------------------------
 
-    def context_for(self, protocol=None, dp=None, malicious=None):
+    def context_for(
+        self,
+        protocol: str | None = None,
+        dp: Any = None,
+        malicious: bool | None = None,
+    ) -> Any:
         resolved = protocol or self.config.protocol
         if resolved == "enhanced":
             raise NotImplementedError(

@@ -71,7 +71,9 @@ class FixedPointOps:
         """Public real value -> field representative of v·2^F."""
         scaled = round(value * (1 << self.f))
         if abs(scaled) >= 1 << (self.k - 1):
-            raise OverflowError(f"value {value} outside the K={self.k} range")
+            # Keep the value out of the message: encode() runs on secret
+            # inputs and exception text reaches logs/tracebacks.
+            raise OverflowError(f"value outside the K={self.k} fixed-point range")
         return scaled % self.engine.field.q
 
     def decode(self, element: int) -> float:

@@ -58,7 +58,15 @@ from typing import Any
 from repro.network.transport import Envelope, InMemoryTransport, Transport
 from repro.network.wire import WireCodec
 
-__all__ = ["NetworkModel", "MessageBus"]
+__all__ = ["CONTROL_TAG_PREFIX", "NetworkModel", "MessageBus"]
+
+#: Wire tags starting with this prefix are control-plane administration
+#: (:meth:`MessageBus.send_control` traffic: snapshots, key audits,
+#: shutdown).  They live outside the protocol books — unaccounted on send,
+#: uncounted on receive — so synchronisation barriers must not consume
+#: them either: :meth:`MessageBus.drain` leaves them queued for whichever
+#: serve loop the sender is actually addressing.
+CONTROL_TAG_PREFIX = "ctl-"
 
 
 @dataclass(frozen=True)
@@ -322,20 +330,33 @@ class MessageBus:
         return envelope
 
     def drain(self, party: int | None = None) -> int:
-        """Pop all pending messages (one party, or everyone) undecoded.
+        """Pop all pending *protocol* messages (one party, or everyone).
 
         Returns the number of messages consumed.  ``round`` drains
         implicitly: a synchronisation barrier is exactly the point where
         every party picks up her mail.  The transport is flushed first so
         frames still in flight on a socket transport are drained too, not
         mistaken for empty inboxes.
+
+        ``ctl-*`` frames are exempt: control-plane administration is
+        unaccounted (:meth:`send_control`) and addressed to a serve loop,
+        not to the protocol phase ending here — consuming one at a barrier
+        would both skew ``consumed`` and silently eat a request the sender
+        is still blocked on.  They are put back (order preserved) via
+        :meth:`Transport.requeue`.
         """
         self.transport.flush()
         parties = self.local_parties if party is None else (party,)
         count = 0
         for receiver in parties:
-            while self.transport.poll(receiver) is not None:
-                count += 1
+            kept: list[Envelope] = []
+            while (envelope := self.transport.poll(receiver)) is not None:
+                if envelope.tag.startswith(CONTROL_TAG_PREFIX):
+                    kept.append(envelope)
+                else:
+                    count += 1
+            for envelope in kept:
+                self.transport.requeue(envelope)
         self.consumed += count
         return count
 

@@ -35,7 +35,9 @@ is fixed-width, so simulate and combine runs measure identical bytes.
 from __future__ import annotations
 
 from collections import deque
+from typing import Any
 
+from repro.crypto.distkeygen import KEYGEN_TAG_PREFIX
 from repro.network.bus import MessageBus
 from repro.network.wire import PartialDecryptionVector, Request
 
@@ -125,10 +127,22 @@ def run_distributed_keygen(bus: MessageBus, machines: dict) -> dict:
     Returns ``{index: KeygenResult}`` for the local machines and applies
     the protocol's round count to this bus (lowest-index local machine's
     tally — all machines agree on it by construction).
+
+    The driver is tag-disciplined: it consumes only ``kg-*`` frames
+    (:data:`~repro.crypto.distkeygen.KEYGEN_TAG_PREFIX`).  In a standalone
+    deployment the orchestrator finishes keygen first and immediately
+    opens the control plane, so her ``ctl-*`` frame can race into a
+    party's inbox while that party is still pumping her final wave; a
+    tag-agnostic pump would feed it to the done state machine, which
+    discards it — and the serve loop would then hang waiting for a request
+    that no longer exists.  Foreign frames are instead deferred and
+    re-enqueued (original sender and tag intact, still unaccounted) after
+    the protocol's closing round, exactly where the serve loop looks.
     """
     if not machines:
         raise ValueError("no local keygen machines to run")
     outbox: deque = deque()
+    deferred: list[tuple[int, int, str, Any]] = []
 
     def flush() -> None:
         while outbox:
@@ -142,6 +156,28 @@ def run_distributed_keygen(bus: MessageBus, machines: dict) -> dict:
                 )
 
     order = sorted(machines)
+
+    def accept(index: int) -> bool:
+        """Pop one frame for ``index``; True iff it fed the state machine.
+
+        Keygen frames drive the protocol; anything else is foreign (the
+        control plane racing ahead of the final wave), gets un-counted —
+        ``receive_tagged`` books a consumption the protocol never made —
+        and is parked in ``deferred`` for re-delivery after the run.
+        """
+        # pivotlint: disable=PL007 -- bounded by the transport: the pump
+        # calls this under a pending() guard, and the blocking branch's
+        # socket bus raises its flush/read timeout if a peer stalls (the
+        # in-process bus never reaches that branch).
+        sender, tag, payload = bus.receive_tagged(index)
+        if not tag.startswith(KEYGEN_TAG_PREFIX):
+            bus.consumed -= 1
+            deferred.append((index, sender, tag, payload))
+            return False
+        for message in machines[index].receive(sender, tag, payload):
+            outbox.append((index, message))
+        return True
+
     for index in order:
         for message in machines[index].start():
             outbox.append((index, message))
@@ -153,29 +189,28 @@ def run_distributed_keygen(bus: MessageBus, machines: dict) -> dict:
         for index in order:
             machine = machines[index]
             while not machine.done and bus.pending(index):
-                sender, tag, payload = bus.receive_tagged(index)
-                for message in machine.receive(sender, tag, payload):
-                    outbox.append((index, message))
-                progressed = True
+                progressed |= accept(index)
         if progressed or outbox:
             continue
         # Every local machine is waiting on remote input: block on the
         # first unfinished party's inbox (socket transports raise their
         # flush timeout if a peer stalls; in-process runs never get here).
         index = next(i for i in order if not machines[i].done)
-        sender, tag, payload = bus.receive_tagged(index)
-        for message in machines[index].receive(sender, tag, payload):
-            outbox.append((index, message))
+        accept(index)
     # Defensive drain: the waves are strictly synchronous, so a finished
-    # machine should have an empty inbox — feed any straggler back anyway
-    # (done machines consume and emit nothing) so the protocol phase ends
-    # with clean inboxes.
+    # machine should have an empty inbox — feed any keygen straggler back
+    # anyway (done machines consume and emit nothing) so the protocol
+    # phase ends with clean inboxes.
     for index in order:
         while bus.pending(index):
-            sender, tag, payload = bus.receive_tagged(index)
-            machines[index].receive(sender, tag, payload)
+            accept(index)
     results = {index: machines[index].result for index in order}
     bus.round(results[order[0]].rounds)
+    # Re-deliver what raced in mid-keygen: unaccounted like the original
+    # control send, sender and tag intact, so the party's serve loop finds
+    # the request exactly where its sender believes it to be.
+    for index, sender, tag, payload in deferred:
+        bus.send_control(sender, index, payload, tag=tag)
     return results
 
 

@@ -163,6 +163,18 @@ class Transport:
         """Number of undelivered messages waiting for ``receiver``."""
         raise NotImplementedError
 
+    def requeue(self, envelope: Envelope) -> None:
+        """Put an already-admitted envelope back onto its receiver's inbox.
+
+        The control-plane preservation hook: a drain that pops a frame it
+        must not consume (:meth:`MessageBus.drain` keeps ``ctl-*``
+        administration out of the protocol books) hands it back here.  No
+        delivery counters move — the frame was counted when it first
+        arrived — and no capacity check runs: the frame was admitted once
+        and refusing it now would lose it.
+        """
+        raise NotImplementedError
+
     # -- await-delivery seam ------------------------------------------------
 
     def wait_pending(
@@ -243,6 +255,10 @@ class InMemoryTransport(Transport):
     def pending(self, receiver: int) -> int:
         self._check_party(receiver)
         return len(self._inboxes[receiver])
+
+    def requeue(self, envelope: Envelope) -> None:
+        self._check_party(envelope.receiver)
+        self._inboxes[envelope.receiver].append(envelope)
 
     def clear(self) -> None:
         for inbox in self._inboxes:
@@ -421,6 +437,12 @@ class AsyncioTransport(Transport):
         self._check_party(receiver)
         with self._cond:
             return len(self._inboxes[receiver])
+
+    def requeue(self, envelope: Envelope) -> None:
+        self._check_party(envelope.receiver)
+        with self._cond:
+            self._inboxes[envelope.receiver].append(envelope)
+            self._cond.notify_all()
 
     def wait_pending(
         self, receiver: int, count: int = 1, timeout: float | None = None
@@ -708,6 +730,12 @@ class PeerTransport(Transport):
         self._check_receiver(receiver)
         with self._cond:
             return len(self._inbox)
+
+    def requeue(self, envelope: Envelope) -> None:
+        self._check_receiver(envelope.receiver)
+        with self._cond:
+            self._inbox.append(envelope)
+            self._cond.notify_all()
 
     def wait_pending(
         self, receiver: int, count: int = 1, timeout: float | None = None

@@ -17,7 +17,7 @@ from repro.crypto.threshold import ThresholdPaillier
 from repro.mpc.field import MERSENNE_127
 from repro.network.bus import MessageBus
 from repro.network.flows import run_distributed_keygen
-from repro.network.wire import WireCodec
+from repro.network.wire import Request, WireCodec
 
 KEYSIZE = 256
 
@@ -106,4 +106,29 @@ def test_keygen_traffic_is_accounted_and_drained():
     assert bus.rounds == results[0].rounds > 0
     kg_bytes = sum(n for tag, n in bus.by_tag.items() if tag.startswith("kg-"))
     assert kg_bytes == bus.bytes > 0
+    bus.assert_drained()
+
+
+def test_keygen_leaves_foreign_frames_for_the_serve_loop():
+    """The driver consumes only kg-* frames.  A control frame racing into
+    a party's inbox mid-keygen (the orchestrator finishes her waves first
+    and opens the control plane immediately) used to be swallowed by the
+    tag-agnostic pump/drain — the done machine discarded it and the
+    party's serve loop then hung on a request that no longer existed.  It
+    must come out the other side intact: same sender, same tag, queued for
+    whoever pops the inbox after keygen."""
+    bus = MessageBus(2, codec=WireCodec(None, share_modulus=MERSENNE_127.q))
+    machines = {
+        i: KeygenParty(i, 2, KEYSIZE, seed=11, kappa=40) for i in range(2)
+    }
+    # Delivered before the first wave: sits at the *head* of party 1's
+    # inbox, so the pump meets it before any kg-* frame.
+    bus.send_control(0, 1, Request("ctl-snapshot", []), tag="ctl-snapshot")
+    results = run_distributed_keygen(bus, machines)
+    assert results[0].public_key.n == results[1].public_key.n
+    assert bus.pending(1) == 1
+    sender, tag, payload = bus.receive_control(1)
+    assert (sender, tag) == (0, "ctl-snapshot")
+    assert payload.op == "ctl-snapshot"
+    # The detour never touched the protocol books.
     bus.assert_drained()

@@ -2,6 +2,7 @@ import pytest
 
 from repro.network import MessageBus, NetworkModel, WireCodec
 from repro.network.transport import InMemoryTransport
+from repro.network.wire import Request
 
 
 @pytest.fixture()
@@ -84,6 +85,22 @@ def test_reset_drain_true_consumes_then_zeroes(payload_bus, threshold3):
     assert payload_bus.pending_total() == 0
     assert payload_bus.messages == 0
     assert payload_bus.consumed == 0
+    payload_bus.assert_drained()
+
+
+def test_drain_preserves_control_frames(payload_bus, threshold3):
+    """A barrier consumes protocol mail only: a ctl-* frame queued behind
+    it (the control plane is unaccounted end to end) must survive the
+    drain, in order, for the serve loop the sender is blocked on."""
+    payload_bus.send_payload(0, 1, threshold3.encrypt(1), tag="stats")
+    payload_bus.send_control(2, 1, Request("ctl-snapshot", []), tag="ctl-snapshot")
+    payload_bus.send_payload(2, 1, threshold3.encrypt(2), tag="stats")
+    assert payload_bus.drain() == 2  # the two protocol frames, not the ctl
+    assert payload_bus.pending(1) == 1
+    sender, tag, payload = payload_bus.receive_control(1)
+    assert (sender, tag) == (2, "ctl-snapshot")
+    assert payload.op == "ctl-snapshot"
+    assert payload_bus.consumed == 2
     payload_bus.assert_drained()
 
 
