@@ -18,6 +18,7 @@ This module has no dependencies so every layer can import it.
 from __future__ import annotations
 
 from contextlib import contextmanager
+from typing import Iterator
 
 __all__ = ["OpCounter", "GLOBAL", "snapshot", "diff", "reset", "counting"]
 
@@ -60,7 +61,7 @@ def diff(before: dict[str, int], after: dict[str, int] | None = None) -> dict[st
 
 
 @contextmanager
-def counting():
+def counting() -> Iterator[dict[str, int]]:
     """Context manager yielding the op-count delta of its body."""
     before = snapshot()
     result: dict[str, int] = {}

@@ -31,11 +31,24 @@ PL008  blocking-in-event-loop    synchronous sleep/socket/bigint-pow calls
                                  inside ``async def`` bodies
 PL009  width-parity              WireCodec ``estimate`` arithmetic that
                                  disagrees with what ``_write`` emits
+PL010  choreography-deadlock     a role's blocking receive whose matching
+                                 send is ordered after that role's own
+                                 pending sends on a composed flow path
+PL011  round-parity              a flow's ``bus.round(K)`` constant that
+                                 disagrees with the round count derived
+                                 from the flow's choreography automaton
+PL012  cross-thread-shared-state transport attributes mutated from both
+                                 the daemon loop thread and the caller
+                                 thread with an unlocked access on some
+                                 path; also ``await`` under a held lock
+PL013  exception-safe-drain      a ``raise`` reachable between a bus send
+                                 and its barrier with no try/finally or
+                                 handler restoring the drain
 ====== ========================= ==========================================
 
 Run: ``python -m repro.analysis.pivotlint src/ --strict`` (add
-``--jobs N`` to fan per-file checks across worker processes; the merged
-report is byte-identical to a serial run).  See
+``--jobs N`` to fan per-file checks across worker processes, ``0`` for
+one per core; the merged report is byte-identical to a serial run).  See
 ``src/repro/analysis/pivotlint/README.md`` for the catalogue, the
 interprocedural semantics, the suppression policy, and how to add a rule.
 """

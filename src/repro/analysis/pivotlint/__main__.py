@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -25,8 +26,8 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.analysis.pivotlint",
         description=(
             "pivotlint: static privacy-flow analyzer for the Pivot "
-            "reproduction — proves the locality and key-secrecy "
-            "invariants at lint time (rules PL001-PL009)"
+            "reproduction — proves the locality, key-secrecy, and "
+            "choreography invariants at lint time (rules PL001-PL013)"
         ),
     )
     parser.add_argument("paths", nargs="*", default=["src"], help="files/directories to scan")
@@ -36,8 +37,9 @@ def _build_parser() -> argparse.ArgumentParser:
         default=1,
         metavar="N",
         help=(
-            "run per-file rule checks across N worker processes; the merged "
-            "report is byte-identical to a serial run (default: 1)"
+            "run per-file rule checks across N worker processes; 0 means "
+            "auto (one per CPU core); the merged report is byte-identical "
+            "to a serial run (default: 1)"
         ),
     )
     parser.add_argument(
@@ -61,9 +63,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json", "github"),
+        choices=("text", "json", "github", "sarif"),
         default="text",
-        help="output format (github emits workflow annotations)",
+        help=(
+            "output format (github emits workflow annotations, sarif emits "
+            "a SARIF 2.1.0 log for code-scanning upload)"
+        ),
     )
     parser.add_argument(
         "--summary",
@@ -104,6 +109,74 @@ def _render_json(report: Report) -> str:
     )
 
 
+def _render_sarif(report: Report) -> str:
+    """SARIF 2.1.0 log — the interchange format code-scanning UIs ingest.
+
+    One run, one tool driver, the full rule catalogue in the driver's
+    ``rules`` array, and one result per surviving finding (parse errors
+    included; suppressed/baselined findings are already accepted and do
+    not appear).  Deterministic: findings keep report order and the rule
+    catalogue is sorted, so identical trees produce identical logs.
+    """
+    rule_ids = sorted(REGISTRY)
+    rules = [
+        {
+            "id": rule_id,
+            "name": REGISTRY[rule_id].name,
+            "shortDescription": {"text": REGISTRY[rule_id].summary},
+            "help": {"text": f"fix: {REGISTRY[rule_id].hint}"},
+        }
+        for rule_id in rule_ids
+    ]
+    index = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+    results = []
+    for finding in report.parse_errors + report.findings:
+        result = {
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": f"{finding.message} (hint: {finding.hint})"},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col + 1,
+                        },
+                    },
+                    "logicalLocations": [
+                        {"fullyQualifiedName": finding.scope}
+                    ],
+                }
+            ],
+        }
+        if finding.rule in index:
+            result["ruleIndex"] = index[finding.rule]
+        results.append(result)
+    log = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+            "Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "pivotlint",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2)
+
+
 def _render_summary(report: Report) -> str:
     lines = [
         "## pivotlint — static privacy-flow analysis",
@@ -141,10 +214,11 @@ def main(argv: list[str] | None = None) -> int:
     baseline_path = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE)
     baseline = Baseline.load(baseline_path)
     analyzer = Analyzer(baseline=baseline, strict=args.strict)
-    if args.jobs < 1:
-        print("pivotlint: --jobs must be >= 1", file=sys.stderr)
+    if args.jobs < 0:
+        print("pivotlint: --jobs must be >= 0 (0 means auto)", file=sys.stderr)
         return 2
-    report = analyzer.run(args.paths, jobs=args.jobs)
+    jobs = args.jobs if args.jobs else (os.cpu_count() or 1)
+    report = analyzer.run(args.paths, jobs=jobs)
 
     if args.update_baseline:
         for finding in report.findings:
@@ -168,6 +242,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.format == "json":
         print(_render_json(report))
+    elif args.format == "sarif":
+        print(_render_sarif(report))
     elif args.format == "github":
         for finding in report.parse_errors + report.findings:
             print(finding.render_github())

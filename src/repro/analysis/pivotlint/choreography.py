@@ -1,0 +1,429 @@
+"""Choreography extraction: per-role projections and flow automata.
+
+The distributed runtime (PR 7/8) turned every protocol flow into a fixed
+message *choreography*: a known sequence of payload sends, receives, and
+synchronisation rounds spread over the m party roles.  Since the parties
+run as separate OS processes, a mis-ordered flow is no longer a stack
+trace — it is a distributed hang.  This module gives the concurrency rule
+pack (:mod:`~repro.analysis.pivotlint.rules_concurrency`) a static model
+of each flow to check against:
+
+* :func:`extract_flow` walks one function body in execution order and
+  records every bus event — payload sends/broadcasts, blocking receives,
+  and barriers — as :class:`FlowEvent` entries.  Each event carries its
+  *role* (the textual actor expression: the first addressing argument of
+  the primitive) and its *tag* (a constant string, or the symbolic
+  ``$name`` of the parameter that carries it, so ``tag=tag`` send/receive
+  pairs match without knowing the runtime value).  Calls into other
+  project functions are resolved through the
+  :class:`~repro.analysis.pivotlint.callgraph.ProjectIndex` summaries: a
+  callee that both receives and sends contributes a receive-then-send
+  pair (the reactive responder shape), a sender contributes a send, a
+  callee containing a barrier contributes an (unpinned) barrier.
+
+* The composed event order *is* the global flow automaton: the
+  orchestrator-style flows in ``repro/network/flows.py`` execute every
+  role's actions in one body, so the textual execution order is exactly
+  the composition of the per-role projections.  :meth:`FlowAutomaton.
+  projection` restricts the composed order back to one role;
+  :meth:`FlowAutomaton.order_inversions` finds receive-before-send tag
+  pairs on the composed order (PL010); the phase walk behind
+  :attr:`FlowAutomaton.pinned` derives each flow's static round count and
+  pins it against the constants charged to ``snapshot()["rounds"]``
+  (PL011).
+
+Soundness scope: composition is only meaningful for *complete* flows —
+functions that own their synchronisation barrier (``round`` /
+``assert_drained`` / ``drain``).  A barrier-less helper (a reactive
+handler, a request primitive whose caller owns the round) sees only its
+own role's half of the choreography, where receive-before-send is the
+normal responder shape; the rules therefore skip it.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.pivotlint.callgraph import ProjectIndex
+
+__all__ = [
+    "BARRIER_EVENTS",
+    "FlowAutomaton",
+    "FlowEvent",
+    "RECEIVE_EVENTS",
+    "SEND_EVENTS",
+    "extract_flow",
+]
+
+#: Payload-routing sends (measured, enter an inbox).  The byte-estimate
+#: ``bus.send``/``bus.broadcast`` and the unaccounted control plane are
+#: not part of a protocol choreography.
+SEND_EVENTS = frozenset({"send_payload", "broadcast_payload"})
+#: Blocking protocol receives (consume + decode from an inbox).
+RECEIVE_EVENTS = frozenset({"receive", "receive_any", "receive_tagged"})
+#: Synchronisation barriers: the points where rounds are charged and
+#: inboxes drain.
+BARRIER_EVENTS = frozenset({"round", "assert_drained", "drain"})
+
+#: Positional index of the tag argument per primitive (keyword ``tag=``
+#: always wins): ``send_payload(sender, receiver, payload, tag)``,
+#: ``broadcast_payload(sender, payload, tag)``, ``receive(party, tag)``.
+_TAG_POSITIONS: dict[str, int] = {
+    "send_payload": 3,
+    "broadcast_payload": 2,
+    "receive": 1,
+}
+
+#: States with more alternatives than this collapse to the conservative
+#: union — branch-heavy flows stay linear to analyze.
+_MAX_STATES = 16
+
+
+@dataclass
+class FlowEvent:
+    """One bus event on a flow's composed path."""
+
+    kind: str  #: ``"send"`` | ``"receive"`` | ``"barrier"``
+    role: str  #: textual actor expression (``"holder"``, ``"party"``, ...)
+    tag: str | None  #: constant tag, ``$param`` symbolic, or None (unknown)
+    node: ast.Call  #: the call the event was extracted from
+    position: int  #: index in the composed (textual-execution) order
+    rounds: int | None = None  #: barrier only — constant count, None dynamic
+    #: directed send only — the receiver expression; None for broadcasts
+    #: (which reach every role except the sender).
+    peer: str | None = None
+
+
+#: One branch-path state of the phase walk: completed/open send-phase
+#: count, whether a send-run is open, and the roles that have received
+#: messages in the open run (``*except:<role>`` marks a broadcast, which
+#: reaches everyone but its sender).
+_State = tuple[int, bool, frozenset[str]]
+
+
+@dataclass
+class FlowAutomaton:
+    """The composed choreography of one flow function.
+
+    ``events`` is the composed global order (the orchestrator body *is*
+    the composition — see the module docstring); ``pinned`` holds every
+    barrier whose round count is a static constant, together with the set
+    of send-phase counts reachable at that barrier (one count per
+    branch-path through the body).
+    """
+
+    qualname: str
+    events: list[FlowEvent] = field(default_factory=list)
+    has_barrier: bool = False
+    #: (barrier event, pinned constant, reachable send-phase counts)
+    pinned: list[tuple[FlowEvent, int, frozenset[int]]] = field(
+        default_factory=list
+    )
+
+    def roles(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for event in self.events:
+            if event.kind != "barrier" and event.role != "?":
+                seen.setdefault(event.role)
+        return list(seen)
+
+    def projection(self, role: str) -> list[FlowEvent]:
+        """The composed order restricted to one role's own events."""
+        return [
+            e for e in self.events if e.kind != "barrier" and e.role == role
+        ]
+
+    def order_inversions(self) -> list[tuple[FlowEvent, FlowEvent]]:
+        """Receive events whose matching send is ordered after them.
+
+        For every tag that is both produced and consumed *within this
+        flow*, the first blocking receive must come after the first send
+        on the composed order — otherwise every role is blocked at the
+        receive and the send that would unblock it can never execute.
+        Returns ``(receive, first_send)`` pairs for each inverted tag.
+        """
+        first_send: dict[str, FlowEvent] = {}
+        first_receive: dict[str, FlowEvent] = {}
+        for event in self.events:
+            if event.tag is None:
+                continue
+            if event.kind == "send":
+                first_send.setdefault(event.tag, event)
+            elif event.kind == "receive":
+                first_receive.setdefault(event.tag, event)
+        inversions: list[tuple[FlowEvent, FlowEvent]] = []
+        for tag, receive in first_receive.items():
+            send = first_send.get(tag)
+            if send is not None and receive.position < send.position:
+                inversions.append((receive, send))
+        return inversions
+
+
+def _expr_text(node: ast.expr) -> str:
+    """A compact textual name for a role expression (best effort)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Constant):
+        return repr(node.value)
+    if isinstance(node, ast.Attribute):
+        return f"{_expr_text(node.value)}.{node.attr}"
+    if isinstance(node, ast.Subscript):
+        return f"{_expr_text(node.value)}[...]"
+    return "?"
+
+
+def _event_tag(call: ast.Call, attr: str) -> str | None:
+    """The event's tag: constant value, ``$param`` symbolic, or None."""
+    expr: ast.expr | None = None
+    for kw in call.keywords:
+        if kw.arg == "tag":
+            expr = kw.value
+    if expr is None:
+        pos = _TAG_POSITIONS.get(attr)
+        if pos is not None and len(call.args) > pos:
+            expr = call.args[pos]
+    if expr is None:
+        return None
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        return expr.value
+    if isinstance(expr, ast.Name):
+        return f"${expr.id}"
+    return None
+
+
+def _round_constant(
+    call: ast.Call, attr: str, consts: dict[str, int]
+) -> int | None:
+    """The barrier's static round count, if it is pinnable.
+
+    ``round()`` defaults to one round; ``round(K)`` with a literal or a
+    module-level integer constant pins K.  ``assert_drained``/``drain``
+    charge nothing.  A dynamic count (``round(result.rounds)``) returns
+    None — the barrier still resets the phase walk but cannot be pinned.
+    """
+    if attr != "round":
+        return 0
+    if not call.args and not call.keywords:
+        return 1
+    expr: ast.expr | None = call.args[0] if call.args else None
+    for kw in call.keywords:
+        if kw.arg == "count":
+            expr = kw.value
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, int):
+        return expr.value
+    if isinstance(expr, ast.Name) and expr.id in consts:
+        return consts[expr.id]
+    return None
+
+
+def _calls_in_order(stmt: ast.stmt) -> list[ast.Call]:
+    return [n for n in ast.walk(stmt) if isinstance(n, ast.Call)]
+
+
+class _Extractor:
+    """One pass over a function body: events + the phase-state walk.
+
+    The walk carries a set of ``(phases, open)`` states — ``phases`` is
+    the number of send-phases completed or begun so far (a maximal run of
+    sends not separated by a receive or barrier counts once), ``open``
+    whether the walk is currently inside such a run.  Branches union
+    their successor states; a barrier records a pin (when its count is
+    constant) and resets the walk.
+    """
+
+    def __init__(self, project: ProjectIndex | None, consts: dict[str, int]):
+        self.project = project
+        self.consts = consts
+        self.events: list[FlowEvent] = []
+        self.pinned: list[tuple[FlowEvent, int, frozenset[int]]] = []
+        self.has_barrier = False
+        self.position = 0
+
+    # -- event classification ----------------------------------------------
+
+    def _emit(
+        self,
+        kind: str,
+        role: str,
+        tag: str | None,
+        call: ast.Call,
+        rounds: int | None = None,
+    ) -> FlowEvent:
+        event = FlowEvent(
+            kind=kind,
+            role=role,
+            tag=tag,
+            node=call,
+            position=self.position,
+            rounds=rounds,
+        )
+        self.position += 1
+        self.events.append(event)
+        return event
+
+    def _call_events(self, call: ast.Call) -> list[FlowEvent]:
+        func = call.func
+        attr = func.attr if isinstance(func, ast.Attribute) else None
+        if attr in SEND_EVENTS:
+            role = _expr_text(call.args[0]) if call.args else "?"
+            peer = None
+            if attr == "send_payload" and len(call.args) > 1:
+                peer = _expr_text(call.args[1])
+            event = self._emit("send", role, _event_tag(call, attr), call)
+            event.peer = peer
+            return [event]
+        if attr in RECEIVE_EVENTS:
+            role = _expr_text(call.args[0]) if call.args else "?"
+            tag = _event_tag(call, attr) if attr == "receive" else None
+            return [self._emit("receive", role, tag, call)]
+        if attr in BARRIER_EVENTS:
+            rounds = _round_constant(call, attr, self.consts)
+            return [self._emit("barrier", "?", None, call, rounds=rounds)]
+        if self.project is None:
+            return []
+        # Project calls contribute their summarized effects.  A callee
+        # that both receives and sends is the reactive responder shape
+        # (receive the request, publish the reply) and contributes the
+        # pair in that order.
+        does_send = does_receive = has_barrier = False
+        for _info, summary in self.project.summaries_for_call(call):
+            does_send |= summary.does_send or summary.open_send
+            does_receive |= summary.does_receive
+            has_barrier |= summary.has_barrier
+        emitted: list[FlowEvent] = []
+        if does_receive:
+            emitted.append(self._emit("receive", "?", None, call))
+        if does_send:
+            emitted.append(self._emit("send", "?", None, call))
+        if has_barrier:
+            # An unpinned barrier: resets the phase walk, never pinned
+            # here (the callee pins its own constants).
+            emitted.append(self._emit("barrier", "?", None, call, rounds=None))
+        return emitted
+
+    # -- phase-state walk ----------------------------------------------------
+
+    @staticmethod
+    def _was_receiver(role: str, receivers: frozenset[str]) -> bool:
+        """Did ``role`` receive a message in the current send-run?"""
+        if role in receivers:
+            return True
+        return any(
+            r.startswith("*except:") and r != f"*except:{role}"
+            for r in receivers
+        )
+
+    def _send_state(self, event: FlowEvent, state: _State) -> _State:
+        phases, open_, receivers = state
+        if not open_ or self._was_receiver(event.role, receivers):
+            # A fresh run — or a causally ordered one: the sender already
+            # received a message of the open run, so her send cannot share
+            # its delivery round (gather-then-scatter is two rounds).
+            phases += 1
+            receivers = frozenset()
+        if event.peer is not None:
+            receivers |= {event.peer}
+        else:
+            receivers |= {f"*except:{event.role}"}
+        return (phases, True, receivers)
+
+    def _apply(
+        self, events: list[FlowEvent], states: set[_State]
+    ) -> set[_State]:
+        for event in events:
+            if event.kind == "send":
+                states = {self._send_state(event, s) for s in states}
+            elif event.kind == "receive":
+                states = {(p, False, frozenset()) for p, _, _ in states}
+            elif event.kind == "barrier":
+                self.has_barrier = True
+                if event.rounds is not None and event.rounds > 0 and states:
+                    self.pinned.append(
+                        (
+                            event,
+                            event.rounds,
+                            frozenset(p for p, _, _ in states),
+                        )
+                    )
+                states = {(0, False, frozenset())}
+            if len(states) > _MAX_STATES:
+                states = {max(states, key=lambda s: (s[0], s[1]))}
+        return states
+
+    def scan(
+        self, body: list[ast.stmt], states: set[_State]
+    ) -> set[_State]:
+        for stmt in body:
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue  # nested scopes are their own flows
+            if isinstance(stmt, ast.If):
+                states = self._apply(
+                    self._stmt_events(ast.Expr(stmt.test)), states
+                )
+                then = self.scan(stmt.body, set(states))
+                other = self.scan(stmt.orelse, set(states))
+                states = then | other
+            elif isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+                head = (
+                    stmt.iter
+                    if isinstance(stmt, (ast.For, ast.AsyncFor))
+                    else stmt.test
+                )
+                states = self._apply(self._stmt_events(ast.Expr(head)), states)
+                # The loop body's events are recorded once; the state walk
+                # unions "ran once" with "ran zero times".
+                after = self.scan(stmt.body, set(states))
+                after = self.scan(stmt.orelse, after | states)
+                states = after
+            elif isinstance(stmt, ast.Try):
+                after = self.scan(stmt.body, states)
+                merged = set(after)
+                for handler in stmt.handlers:
+                    merged |= self.scan(handler.body, set(after))
+                merged = self.scan(stmt.orelse, merged)
+                states = self.scan(stmt.finalbody, merged)
+            elif isinstance(stmt, ast.With):
+                for item in stmt.items:
+                    states = self._apply(
+                        self._stmt_events(ast.Expr(item.context_expr)), states
+                    )
+                states = self.scan(stmt.body, states)
+            elif isinstance(stmt, (ast.Return, ast.Raise)):
+                states = self._apply(self._stmt_events(stmt), states)
+                return set()  # path ends; no barrier is reachable from here
+            else:
+                states = self._apply(self._stmt_events(stmt), states)
+            if len(states) > _MAX_STATES:
+                states = {max(states, key=lambda s: (s[0], s[1]))}
+        return states
+
+    def _stmt_events(self, stmt: ast.stmt) -> list[FlowEvent]:
+        events: list[FlowEvent] = []
+        for call in _calls_in_order(stmt):
+            events.extend(self._call_events(call))
+        return events
+
+
+def extract_flow(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+    qualname: str,
+    project: ProjectIndex | None = None,
+    consts: dict[str, int] | None = None,
+) -> FlowAutomaton:
+    """Extract the composed choreography of one function body.
+
+    ``consts`` maps module-level integer constant names to values so a
+    ``bus.round(ROUNDS)`` barrier is pinnable; ``project`` (when given)
+    resolves calls to other scanned functions through their summaries.
+    """
+    extractor = _Extractor(project, consts or {})
+    extractor.scan(node.body, {(0, False, frozenset())})
+    return FlowAutomaton(
+        qualname=qualname,
+        events=extractor.events,
+        has_barrier=extractor.has_barrier,
+        pinned=extractor.pinned,
+    )

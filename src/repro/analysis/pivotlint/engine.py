@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import ast
 import multiprocessing
+from collections.abc import Callable
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -29,6 +30,7 @@ from repro.analysis.pivotlint.dataflow import build_parent_map, enclosing_stmt
 from repro.analysis.pivotlint.findings import Finding
 from repro.analysis.pivotlint.rules import REGISTRY, Rule
 from repro.analysis.pivotlint import rules_protocol  # noqa: F401  (registers PL006-PL009)
+from repro.analysis.pivotlint import rules_concurrency  # noqa: F401  (registers PL010-PL013)
 from repro.analysis.pivotlint.suppress import Suppression, parse_suppressions
 
 
@@ -76,7 +78,9 @@ class Report:
         return counts
 
 
-def _make_quench(suppression_map: dict[str, list[Suppression]]):
+def _make_quench(
+    suppression_map: dict[str, list[Suppression]],
+) -> Callable[[str, str, int], bool]:
     """``(relpath, rule, line) -> bool``: is the line under a suppression?
 
     The summary computation uses this to stop exporting taint that a
@@ -249,7 +253,7 @@ class Analyzer:
                             line=sup.line,
                             col=0,
                             message=f"suppression names unknown rule {code!r}",
-                            hint="rule ids are PL001..PL009",
+                            hint="rule ids are PL001..PL013",
                         )
                     )
             if not sup.reason:

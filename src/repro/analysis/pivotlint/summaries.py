@@ -88,6 +88,7 @@ class FunctionSummary:
     open_send: bool = False
     has_barrier: bool = False
     does_send: bool = False
+    does_receive: bool = False
     forwards_tag_to_send: bool = False
     forwards_tag_to_receive: bool = False
 
@@ -355,6 +356,8 @@ def _summarize(
                 summary.does_send = True
             elif sub.func.attr in _BARRIER_CALLS:
                 summary.has_barrier = True
+            elif sub.func.attr in _RECEIVE_CALLS:
+                summary.does_receive = True
 
     summary.taint_params = frozenset(taint_params)
     summary.reads_params = frozenset(reads)

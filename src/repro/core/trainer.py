@@ -258,7 +258,11 @@ class TreeTrainer:
         ctx.bus.broadcast_payload(sup, own_stats, tag="split-stats")
         others = [c.index for c in ctx.clients if c.index != sup]
         replies = collect_replies(ctx.bus, sup, others)
-        ctx.bus.round()
+        # Two synchronisation rounds, same shape as the threshold-decrypt
+        # flow: the request broadcast, then the reply wave that causally
+        # depends on it (a reply cannot share the request's delivery
+        # round).
+        ctx.bus.round(2)
         stats: list[EncryptedNumber] = []
         for client in ctx.clients:
             chunk = own_stats if client.index == sup else replies[client.index]
@@ -311,15 +315,22 @@ class TreeTrainer:
                 Request("split-apply", [node_key, feature, split, ride]),
                 tag="mask-vector",
             )
-            owner_runtime = ctx.runtimes[owner_idx]
-            if owner_runtime is not None:
-                owner_runtime.react()
-            reply = ctx.bus.receive(sup, tag="mask-vector")
-            if not isinstance(reply, Request) or reply.op != "node-split":
-                raise ValueError(
-                    f"expected a node-split reply from party {owner_idx}, "
-                    f"got {reply!r}"
-                )
+            try:
+                owner_runtime = ctx.runtimes[owner_idx]
+                if owner_runtime is not None:
+                    owner_runtime.react()
+                reply = ctx.bus.receive(sup, tag="mask-vector")
+                if not isinstance(reply, Request) or reply.op != "node-split":
+                    raise ValueError(
+                        f"expected a node-split reply from party "
+                        f"{owner_idx}, got {reply!r}"
+                    )
+            except Exception:
+                # The owner's node-split broadcast may already sit in peer
+                # inboxes; restore the drained invariant on the error path
+                # without charging a round the update never completed.
+                ctx.bus.drain()
+                raise
             body = list(reply.body)
             ctx.runtimes[sup].store_split(body)
             react_runtimes(ctx.runtimes, exclude=(sup, owner_idx))

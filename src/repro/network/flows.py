@@ -270,57 +270,73 @@ def record_threshold_decrypt(
         raise ValueError(f"expected {m} party services, got {len(services)}")
     bus.broadcast_payload(holder, list(ciphertexts), tag=tag)
     collected: dict[int, PartialDecryptionVector] = {}
-    if services is not None:
-        # Reactive data flow: each non-holder *local* party's service
-        # receives the batch from her own inbox, exponentiates with her
-        # d_i, and broadcasts the real share vector; the holder publishes
-        # hers from the batch in hand.  Parties living in their own
-        # standalone process have no service here (``None``) — their serve
-        # loops react to the same ciphertext broadcast on their own clock
-        # and their vectors arrive below like everyone else's.
+    try:
+        if services is not None:
+            # Reactive data flow: each non-holder *local* party's service
+            # receives the batch from her own inbox, exponentiates with
+            # her d_i, and broadcasts the real share vector; the holder
+            # publishes hers from the batch in hand.  Parties living in
+            # their own standalone process have no service here (``None``)
+            # — their serve loops react to the same ciphertext broadcast
+            # on their own clock and their vectors arrive below like
+            # everyone else's.
+            for party in local:
+                if party == holder or services[party] is None:
+                    continue
+                services[party].answer_decrypt(tag, count)
+            collected[holder] = services[holder].publish_shares(
+                ciphertexts, tag
+            )
+        else:
+            # Drain-based delivery: every other client *receives* the
+            # batch — the wire bytes are decoded back into ciphertext
+            # objects, so the broadcast is data flow, not just accounting.
+            for party in local:
+                if party == holder:
+                    continue
+                received = bus.receive(party, tag=tag)
+                if len(received) != count:
+                    raise ValueError(
+                        f"party {party} received {len(received)} "
+                        f"ciphertexts, expected {count}"
+                    )
+            for party in local:
+                if partials is not None:
+                    vector = partials[party]
+                    if len(vector.values) != count:
+                        raise ValueError(
+                            "partial-share vector length mismatch"
+                        )
+                    collected[vector.party_index] = vector
+                else:
+                    vector = PartialDecryptionVector(party, (0,) * count)
+                bus.broadcast_payload(party, vector, tag=tag)
+        # Every local client receives the other m-1 partial-share vectors
+        # and checks the batch shape before combining locally; the
+        # holder's received set (plus her own vector) is what the caller
+        # combines from.  Vectors are keyed by their embedded party index
+        # — over sockets the m-1 senders' arrival order is not
+        # deterministic.
         for party in local:
-            if party == holder or services[party] is None:
-                continue
-            services[party].answer_decrypt(tag, count)
-        collected[holder] = services[holder].publish_shares(ciphertexts, tag)
-    else:
-        # Drain-based delivery: every other client *receives* the batch —
-        # the wire bytes are decoded back into ciphertext objects, so the
-        # broadcast is data flow, not just accounting.
-        for party in local:
-            if party == holder:
-                continue
-            received = bus.receive(party, tag=tag)
-            if len(received) != count:
-                raise ValueError(
-                    f"party {party} received {len(received)} ciphertexts, "
-                    f"expected {count}"
-                )
-        for party in local:
-            if partials is not None:
-                vector = partials[party]
-                if len(vector.values) != count:
-                    raise ValueError("partial-share vector length mismatch")
-                collected[vector.party_index] = vector
-            else:
-                vector = PartialDecryptionVector(party, (0,) * count)
-            bus.broadcast_payload(party, vector, tag=tag)
-    # Every local client receives the other m-1 partial-share vectors and
-    # checks the batch shape before combining locally; the holder's
-    # received set (plus her own vector) is what the caller combines from.
-    # Vectors are keyed by their embedded party index — over sockets the
-    # m-1 senders' arrival order is not deterministic.
-    for party in local:
-        for _ in range(m - 1):
-            vector = bus.receive(party, tag=tag)
-            if not isinstance(vector, PartialDecryptionVector) or len(
-                vector.values
-            ) != count:
-                raise ValueError(
-                    f"party {party} received a malformed partial-share vector"
-                )
-            if party == holder:
-                collected[vector.party_index] = vector
+            for _ in range(m - 1):
+                vector = bus.receive(party, tag=tag)
+                if not isinstance(vector, PartialDecryptionVector) or len(
+                    vector.values
+                ) != count:
+                    raise ValueError(
+                        f"party {party} received a malformed "
+                        f"partial-share vector"
+                    )
+                if party == holder:
+                    collected[vector.party_index] = vector
+    except Exception:
+        # A mid-flow failure (shape mismatch, malformed vector, a service
+        # hook blowing up) must not strand the frames already broadcast
+        # into peer inboxes: restore the drained invariant before
+        # propagating, without charging rounds the protocol never
+        # completed.
+        bus.drain()
+        raise
     bus.round(2)
     if partials is None and services is None:
         return None

@@ -408,8 +408,10 @@ class AsyncioTransport(Transport):
         self._check_party(envelope.receiver)
         if self._closed:
             raise RuntimeError("transport is closed")
-        self._check_failure()
         with self._cond:
+            # _failure is written from the daemon loop thread; read it
+            # under the same lock that guards the in-flight counter.
+            self._check_failure()
             self._sent += 1
         try:
             self._call(self._send(envelope))
@@ -705,7 +707,10 @@ class PeerTransport(Transport):
             raise ValueError(f"party index {envelope.receiver} out of range")
         if self._closed:
             raise RuntimeError("transport is closed")
-        self._check_failure()
+        with self._cond:
+            # _failure is set from the daemon loop thread under _cond;
+            # read it under the same lock.
+            self._check_failure()
         if envelope.receiver == self.index:
             # A flow impersonating another sender toward this party (the
             # prediction round-robin does this orchestrator-side) loops
@@ -754,7 +759,8 @@ class PeerTransport(Transport):
         # Outgoing frames are written and drained synchronously inside
         # deliver(); incoming arrival at *peers* is not observable from
         # this process, so there is nothing further to wait on.
-        self._check_failure()
+        with self._cond:
+            self._check_failure()
 
     def close(self) -> None:
         if self._closed:

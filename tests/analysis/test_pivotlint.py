@@ -571,7 +571,7 @@ def test_pl005_accepts_send_then_round(tmp_path):
             if fast:
                 bus.round(1)
             else:
-                bus.round(2)
+                bus.assert_drained()
 
         def pump(bus):
             return bus.receive_tagged(0)
@@ -1019,11 +1019,45 @@ def test_cli_parse_error_is_reported(tmp_path, monkeypatch):
     assert pivotlint_main([str(broken)]) == 1
 
 
-def test_cli_rejects_bad_jobs(tmp_path, monkeypatch):
+def test_cli_rejects_negative_jobs(tmp_path, monkeypatch):
     good = tmp_path / "good.py"
     good.write_text("x = 1\n")
     monkeypatch.chdir(tmp_path)
-    assert pivotlint_main([str(good), "--jobs", "0"]) == 2
+    assert pivotlint_main([str(good), "--jobs", "-1"]) == 2
+
+
+def test_cli_jobs_zero_means_auto(tmp_path, monkeypatch):
+    # 0 is not an error: it fans out across os.cpu_count() workers and
+    # produces the same report a serial run would.
+    good = tmp_path / "good.py"
+    good.write_text("x = 1\n")
+    monkeypatch.chdir(tmp_path)
+    assert pivotlint_main([str(good), "--jobs", "0"]) == 0
+
+
+def test_cli_sarif_format(tmp_path, monkeypatch, capsys):
+    import json as _json
+
+    bad = tmp_path / "bad.py"
+    bad.write_text(LEAKY)
+    monkeypatch.chdir(tmp_path)
+    assert pivotlint_main([str(bad), "--format", "sarif"]) == 1
+    log = _json.loads(capsys.readouterr().out)
+    assert log["version"] == "2.1.0"
+    run = log["runs"][0]
+    assert run["tool"]["driver"]["name"] == "pivotlint"
+    rule_ids = [rule["id"] for rule in run["tool"]["driver"]["rules"]]
+    assert "PL001" in rule_ids and "PL013" in rule_ids
+    (result,) = [r for r in run["results"] if r["ruleId"] == "PL001"]
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"].endswith("bad.py")
+    assert location["region"]["startLine"] >= 1
+
+    good = tmp_path / "good.py"
+    good.write_text("x = 1\n")
+    assert pivotlint_main([str(good), "--format", "sarif"]) == 0
+    clean = _json.loads(capsys.readouterr().out)
+    assert clean["runs"][0]["results"] == []
 
 
 # ---------------------------------------------------------------------------
@@ -1080,3 +1114,341 @@ def test_repo_tree_is_clean_under_strict():
     # The accepted surface stays justified and honest.
     assert all(s.reason for _, s in report.suppressed)
     assert baseline.stale_entries() == []
+
+
+# ---------------------------------------------------------------------------
+# PL010 — choreography-deadlock
+# ---------------------------------------------------------------------------
+
+
+def test_pl010_flags_receive_before_matching_send(tmp_path):
+    report = lint(
+        tmp_path,
+        """
+        def inverted(bus, payload):
+            reply = bus.receive(0, tag="x")
+            bus.send_payload(0, 1, payload, tag="x")
+            bus.round(1)
+            return reply
+        """,
+    )
+    assert "PL010" in rules_found(report)
+    finding = next(f for f in report.findings if f.rule == "PL010")
+    assert finding.scope == "inverted"
+
+
+def test_pl010_accepts_send_before_receive(tmp_path):
+    report = lint(
+        tmp_path,
+        """
+        def ordered(bus, payload):
+            bus.send_payload(0, 1, payload, tag="x")
+            reply = bus.receive(0, tag="x")
+            bus.round(1)
+            return reply
+        """,
+    )
+    assert "PL010" not in rules_found(report)
+
+
+def test_pl010_skips_barrierless_responders(tmp_path):
+    # A reactive responder sees only its own projection, where
+    # receive-before-send is the normal shape; without a barrier it is
+    # not a complete choreography and PL010 stays silent.
+    report = lint(
+        tmp_path,
+        """
+        def respond(bus, party):
+            request = bus.receive(party, tag="x")
+            bus.send_payload(party, 0, request, tag="x")
+        """,
+    )
+    assert "PL010" not in rules_found(report)
+
+
+# ---------------------------------------------------------------------------
+# PL011 — round-parity
+# ---------------------------------------------------------------------------
+
+
+def test_pl011_flags_overcharged_round_constant(tmp_path):
+    report = lint(
+        tmp_path,
+        """
+        def overcharged(bus, payload):
+            bus.broadcast_payload(0, payload, tag="x")
+            bus.round(2)
+
+        def pump(bus):
+            return bus.receive_tagged(0)
+        """,
+    )
+    assert rules_found(report) == ["PL011"]
+
+
+def test_pl011_accepts_gather_then_scatter_as_two_rounds(tmp_path):
+    # The scatter broadcast causally depends on the gathered sends (its
+    # sender was the gather's receiver), so the flow really is two
+    # delivery rounds and round(2) is the correct charge.
+    report = lint(
+        tmp_path,
+        """
+        def gather_scatter(bus, shares, combined):
+            for party in range(1, 3):
+                bus.send_payload(party, 0, shares[party], tag="x")
+            bus.broadcast_payload(0, combined, tag="x")
+            bus.round(2)
+
+        def pump(bus):
+            return bus.receive_tagged(0)
+        """,
+    )
+    assert report.findings == []
+
+
+# ---------------------------------------------------------------------------
+# PL012 — cross-thread-shared-state
+# ---------------------------------------------------------------------------
+
+
+def test_pl012_flags_unlocked_caller_side_access(tmp_path):
+    report = lint(
+        tmp_path,
+        """
+        import threading
+
+
+        class Pump:
+            def __init__(self):
+                self._cond = threading.Condition()
+                self._queue = []
+                self._thread = threading.Thread(target=self._run, daemon=True)
+
+            def _run(self):
+                with self._cond:
+                    self._queue.append(1)
+                    self._cond.notify_all()
+
+            def take(self):
+                if self._queue:
+                    return self._queue.pop()
+                return None
+        """,
+    )
+    assert set(rules_found(report)) == {"PL012"}
+    assert all(f.scope.endswith("take") for f in report.findings)
+
+
+def test_pl012_accepts_locked_access_everywhere(tmp_path):
+    report = lint(
+        tmp_path,
+        """
+        import threading
+
+
+        class Pump:
+            def __init__(self):
+                self._cond = threading.Condition()
+                self._queue = []
+                self._thread = threading.Thread(target=self._run, daemon=True)
+
+            def _run(self):
+                with self._cond:
+                    self._queue.append(1)
+                    self._cond.notify_all()
+
+            def take(self):
+                with self._cond:
+                    if self._queue:
+                        return self._queue.pop()
+                return None
+        """,
+    )
+    assert report.findings == []
+
+
+def test_pl012_flags_await_under_lock(tmp_path):
+    report = lint(
+        tmp_path,
+        """
+        import asyncio
+        import threading
+
+
+        class Loop:
+            def __init__(self):
+                self._cond = threading.Condition()
+                self._thread = threading.Thread(target=self._spin)
+                self._n = 0
+
+            def _spin(self):
+                with self._cond:
+                    self._n += 1
+
+            async def _pump(self):
+                with self._cond:
+                    await asyncio.sleep(0)
+        """,
+    )
+    assert "PL012" in rules_found(report)
+
+
+# ---------------------------------------------------------------------------
+# PL013 — exception-safe-drain
+# ---------------------------------------------------------------------------
+
+
+def test_pl013_flags_raise_between_send_and_barrier(tmp_path):
+    report = lint(
+        tmp_path,
+        """
+        def fragile(bus, payload, ok):
+            bus.broadcast_payload(0, payload, tag="x")
+            if not ok:
+                raise ValueError("bad")
+            bus.round(1)
+
+        def pump(bus):
+            return bus.receive_tagged(0)
+        """,
+    )
+    assert rules_found(report) == ["PL013"]
+
+
+def test_pl013_accepts_handler_that_restores_the_drain(tmp_path):
+    report = lint(
+        tmp_path,
+        """
+        def sturdy(bus, payload, ok):
+            bus.broadcast_payload(0, payload, tag="x")
+            try:
+                if not ok:
+                    raise ValueError("bad")
+            except Exception:
+                bus.drain()
+                raise
+            bus.round(1)
+
+        def pump(bus):
+            return bus.receive_tagged(0)
+        """,
+    )
+    assert report.findings == []
+
+
+def test_pl013_accepts_finally_barrier(tmp_path):
+    report = lint(
+        tmp_path,
+        """
+        def finalized(bus, payload, ok):
+            bus.broadcast_payload(0, payload, tag="x")
+            try:
+                if not ok:
+                    raise ValueError("bad")
+            finally:
+                bus.round(1)
+
+        def pump(bus):
+            return bus.receive_tagged(0)
+        """,
+    )
+    assert "PL013" not in rules_found(report)
+
+
+# ---------------------------------------------------------------------------
+# mutation checks: each concurrency rule must catch its seeded defect in
+# a copy of the real runtime module it guards
+# ---------------------------------------------------------------------------
+
+
+def _lint_real_copy(tmp_path: Path, relpath: str, mutate) -> tuple[set, set]:
+    """Lint a pristine and a mutated copy of a real repo file.
+
+    Returns ``(pristine_rules, mutant_rules)`` so callers can assert the
+    *differential* effect of the seeded defect — unrelated findings that
+    stem from linting the file outside its project context cancel out.
+    """
+    source = (REPO_ROOT / relpath).read_text()
+    mutated = mutate(source)
+    assert mutated != source, f"mutation did not apply to {relpath}"
+    pristine = lint(tmp_path / "pristine", source, filename="mutant.py")
+    mutant = lint(tmp_path / "mutant", mutated, filename="mutant.py")
+    return {f.rule for f in pristine.findings}, {f.rule for f in mutant.findings}
+
+
+@pytest.fixture(autouse=False)
+def _mkdirs(tmp_path):
+    (tmp_path / "pristine").mkdir()
+    (tmp_path / "mutant").mkdir()
+    return tmp_path
+
+
+def test_mutation_swapped_send_receive_trips_pl010(_mkdirs):
+    # Move the threshold-decrypt ciphertext broadcast AFTER the receive
+    # loops that consume it: every receiver now blocks on a send its own
+    # role has not issued yet.
+    def mutate(source: str) -> str:
+        send = "    bus.broadcast_payload(holder, list(ciphertexts), tag=tag)\n"
+        assert source.count(send) == 1
+        return source.replace(send, "", 1).replace(
+            "    bus.round(2)", send + "    bus.round(2)", 1
+        )
+
+    pristine, mutant = _lint_real_copy(
+        _mkdirs, "src/repro/network/flows.py", mutate
+    )
+    assert "PL010" not in pristine
+    assert "PL010" in mutant
+
+
+def test_mutation_drifted_round_constant_trips_pl011(_mkdirs):
+    def mutate(source: str) -> str:
+        return source.replace("bus.round(2)", "bus.round(5)")
+
+    pristine, mutant = _lint_real_copy(
+        _mkdirs, "src/repro/network/flows.py", mutate
+    )
+    assert "PL011" not in pristine
+    assert "PL011" in mutant
+
+
+def test_mutation_dropped_lock_trips_pl012(_mkdirs):
+    # Revert the deliver() lock fix: read the loop-thread-written failure
+    # slot outside the condition that guards it.
+    def mutate(source: str) -> str:
+        locked = (
+            "        with self._cond:\n"
+            "            # _failure is written from the daemon loop thread; read it\n"
+            "            # under the same lock that guards the in-flight counter.\n"
+            "            self._check_failure()\n"
+            "            self._sent += 1\n"
+        )
+        assert locked in source
+        unlocked = (
+            "        self._check_failure()\n"
+            "        with self._cond:\n"
+            "            self._sent += 1\n"
+        )
+        return source.replace(locked, unlocked, 1)
+
+    pristine, mutant = _lint_real_copy(
+        _mkdirs, "src/repro/network/transport.py", mutate
+    )
+    assert "PL012" not in pristine
+    assert "PL012" in mutant
+
+
+def test_mutation_swallowed_exception_edge_trips_pl013(_mkdirs):
+    # Drop the drain from the threshold-decrypt error handler: the raise
+    # then propagates with the ciphertext broadcast still undrained in
+    # peer inboxes.
+    def mutate(source: str) -> str:
+        restore = "        bus.drain()\n        raise\n"
+        assert source.count(restore) == 1
+        return source.replace(restore, "        raise\n", 1)
+
+    pristine, mutant = _lint_real_copy(
+        _mkdirs, "src/repro/network/flows.py", mutate
+    )
+    assert "PL013" not in pristine
+    assert "PL013" in mutant
